@@ -1,0 +1,93 @@
+"""Helpers shared by the benchmark harness.
+
+Every benchmark runs a whole cluster simulation, so each is executed
+pedantically (one round, one iteration): the *simulated* seconds are
+the figure's y-values; pytest-benchmark's wall-clock column measures
+the simulator itself.  Each bench also asserts the paper's qualitative
+claim for its figure, so ``pytest benchmarks/ --benchmark-only`` is
+simultaneously a reproduction check.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.config import CacheConfig, ClusterConfig
+from repro.workload import MicroBenchParams, RunOutcome, run_instances
+
+
+def single_instance_outcome(
+    d: int,
+    mode: str,
+    caching: bool,
+    locality: float,
+    p: int = 4,
+    iterations: int = 16,
+    cache: CacheConfig | None = None,
+    fabric: str | None = None,
+) -> RunOutcome:
+    """One micro-benchmark instance on its own cluster (Figs 4/5)."""
+    kwargs: dict[str, _t.Any] = {}
+    if cache is not None:
+        kwargs["cache"] = cache
+    if fabric is not None:
+        from repro.cluster.config import CostModel
+
+        kwargs["costs"] = CostModel(fabric=fabric)
+    config = ClusterConfig(
+        compute_nodes=p, iod_nodes=p, caching=caching, **kwargs
+    )
+    params = MicroBenchParams(
+        nodes=config.compute_node_names(),
+        request_size=d,
+        iterations=iterations,
+        mode=mode,
+        locality=locality,
+        partition_bytes=4 * 2**20,
+        warmup=(mode == "read"),
+    )
+    return run_instances(config, [params])
+
+
+def two_instance_outcome(
+    d: int,
+    locality: float,
+    sharing: float,
+    caching: bool,
+    p: int = 4,
+    total_bytes: int = 2 * 2**20,
+    node_sets: list[list[str]] | None = None,
+    compute_nodes: int | None = None,
+    cache: CacheConfig | None = None,
+) -> RunOutcome:
+    """Two concurrent instances (Figs 6/7/8)."""
+    kwargs: dict[str, _t.Any] = {}
+    if cache is not None:
+        kwargs["cache"] = cache
+    n_nodes = compute_nodes if compute_nodes is not None else p
+    config = ClusterConfig(
+        compute_nodes=n_nodes, iod_nodes=n_nodes, caching=caching, **kwargs
+    )
+    if node_sets is None:
+        node_sets = [config.compute_node_names()[:p]] * 2
+    instances = [
+        MicroBenchParams(
+            nodes=node_sets[i],
+            request_size=d,
+            iterations=max(1, total_bytes // d),
+            mode="read",
+            locality=locality,
+            sharing=sharing,
+            instance=i,
+            partition_bytes=4 * 2**20,
+            warmup=True,
+            seed=42,
+        )
+        for i in range(2)
+    ]
+    return run_instances(config, instances)
+
+
+def once(benchmark, fn: _t.Callable[[], _t.Any]) -> _t.Any:
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,276 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. clock (approximate LRU) vs exact LRU replacement;
+2. write-behind flush period;
+3. harvester watermarks (eviction ahead of demand);
+4. request splitting on a cached mid-run block;
+5. sync_write coherence cost vs default writes;
+6. the global-cache extension;
+7. shared-hub vs switched fabric.
+"""
+
+import pytest
+
+from repro.cluster.config import CacheConfig, ClusterConfig
+from repro.workload import MicroBenchParams, run_instances
+
+from benchmarks.conftest import once, single_instance_outcome
+
+
+def _outcome_with_cache(cache: CacheConfig, locality=0.5, d=65536, mode="read"):
+    return single_instance_outcome(
+        d, mode, True, locality, iterations=16, cache=cache
+    )
+
+
+# -- 1. replacement policy ---------------------------------------------------
+
+
+def test_ablation_clock_vs_exact_lru(benchmark):
+    """Hit ratios of clock and exact LRU should be comparable (the
+    paper's justification for the cheaper policy)."""
+
+    def run():
+        ratios = {}
+        for policy in ("clock", "exact-lru"):
+            out = _outcome_with_cache(
+                CacheConfig(replacement=policy), locality=0.7
+            )
+            ratios[policy] = out.cache_hit_ratio
+        return ratios
+
+    ratios = once(benchmark, run)
+    benchmark.extra_info.update(ratios)
+    assert ratios["clock"] > 0.4
+    assert abs(ratios["clock"] - ratios["exact-lru"]) < 0.15, (
+        f"approximate LRU should track exact LRU: {ratios}"
+    )
+
+
+# -- 2. flush period -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("period_s", [0.005, 0.030, 0.120])
+def test_ablation_flush_period(benchmark, period_s):
+    def run():
+        out = _outcome_with_cache(
+            CacheConfig(flush_period_s=period_s), locality=0.0, mode="write"
+        )
+        return out.mean_write_latency
+
+    latency = once(benchmark, run)
+    benchmark.extra_info["write_latency_s"] = latency
+    assert latency > 0
+
+
+def test_ablation_flush_period_tradeoff(benchmark):
+    """A very long period leaves more dirty blocks exposed at the end
+    (staleness), while write latency stays flat — quantify both."""
+
+    def run():
+        exposure = {}
+        for period in (0.005, 0.5):
+            out = _outcome_with_cache(
+                CacheConfig(flush_period_s=period),
+                locality=0.0,
+                mode="write",
+                d=16384,
+            )
+            dirty_left = sum(
+                m.manager.n_dirty
+                for m in out.cluster.cache_modules.values()
+            )
+            exposure[period] = dirty_left
+        return exposure
+
+    exposure = once(benchmark, run)
+    benchmark.extra_info["dirty_blocks_left"] = str(exposure)
+    assert exposure[0.5] >= exposure[0.005]
+
+
+# -- 3. watermarks ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("low,high", [(0.02, 0.05), (0.10, 0.25), (0.30, 0.60)])
+def test_ablation_watermarks(benchmark, low, high):
+    def run():
+        out = _outcome_with_cache(
+            CacheConfig(low_watermark=low, high_watermark=high),
+            locality=0.0,
+            d=262144,
+        )
+        return out.mean_read_latency
+
+    latency = once(benchmark, run)
+    benchmark.extra_info["read_latency_s"] = latency
+    assert latency > 0
+
+
+# -- 4. request splitting -----------------------------------------------------------
+
+
+def test_ablation_request_splitting(benchmark):
+    """Splitting avoids re-fetching the cached mid-run blocks: with it
+    disabled, strictly more bytes cross the wire."""
+
+    def scenario(split: bool):
+        from repro.cluster.cluster import Cluster
+
+        config = ClusterConfig(
+            compute_nodes=1,
+            iod_nodes=1,
+            caching=True,
+            cache=CacheConfig(split_on_cached_block=split),
+        )
+        cluster = Cluster(config)
+        client = cluster.client("node0")
+
+        def app(env):
+            f = yield from client.open("/split")
+            # cache every other block of a 32-block run
+            for i in range(0, 32, 2):
+                yield from client.read(f, i * 4096, 4096)
+            yield from client.read(f, 0, 32 * 4096)
+
+        proc = cluster.env.process(app(cluster.env))
+        cluster.env.run(until=proc)
+        return cluster.metrics.count("cache.fetched_bytes")
+
+    def run():
+        return scenario(True), scenario(False)
+
+    with_split, without_split = once(benchmark, run)
+    benchmark.extra_info["fetched_with_split"] = with_split
+    benchmark.extra_info["fetched_without_split"] = without_split
+    assert with_split < without_split
+
+
+# -- 5. sync_write cost ---------------------------------------------------------------
+
+
+def test_ablation_sync_write_cost(benchmark):
+    """Coherence is not free: sync_write pays the round trip that the
+    default write path hides."""
+
+    def run():
+        buffered = single_instance_outcome(16384, "write", True, 0.0, p=2)
+        coherent = single_instance_outcome(16384, "sync-write", True, 0.0, p=2)
+        return (
+            buffered.mean_write_latency,
+            coherent.cluster.metrics.mean("client.sync_write_latency"),
+        )
+
+    buffered, coherent = once(benchmark, run)
+    benchmark.extra_info["buffered_s"] = buffered
+    benchmark.extra_info["coherent_s"] = coherent
+    assert coherent > buffered
+
+
+# -- 6. global cache -------------------------------------------------------------------
+
+
+def test_ablation_global_cache(benchmark):
+    """With cold iod page caches and a random-access (single-block)
+    read pattern, peer lookups replace ~half of the disk seeks.
+
+    The pattern matters: block homes are hash-interleaved, so for
+    *sequential* scans the global cache actually fragments the iods'
+    disk runs and loses — the bench uses random 4 KB reads, where both
+    variants pay one seek per iod miss and the peer hits are pure
+    savings.
+    """
+    from repro.cluster.cluster import Cluster
+
+    def scenario(global_cache: bool) -> float:
+        config = ClusterConfig(
+            compute_nodes=2,
+            iod_nodes=2,
+            caching=True,
+            cache=CacheConfig(global_cache=global_cache),
+            pagecache_blocks=0,  # cold iods: misses hit the disk
+        )
+        cluster = Cluster(config)
+        a = cluster.client("node0")
+        b = cluster.client("node1")
+        blocks = [7, 91, 23, 55, 3, 78, 41, 66, 12, 99, 30, 84]
+
+        def app(env):
+            f = yield from a.open("/g")
+            for blk in blocks:  # node0 faults them in (random access)
+                yield from a.read(f, blk * 4096, 4096)
+            t0 = env.now
+            for blk in blocks:  # node1: peer hit vs disk seek
+                yield from b.read(f, blk * 4096, 4096)
+            return env.now - t0
+
+        proc = cluster.env.process(app(cluster.env))
+        return cluster.env.run(until=proc)
+
+    def run():
+        return scenario(False), scenario(True)
+
+    local_only, cooperative = once(benchmark, run)
+    benchmark.extra_info["local_only_s"] = local_only
+    benchmark.extra_info["global_cache_s"] = cooperative
+    assert cooperative < local_only, (
+        f"peer hits should beat disk: {cooperative:.4f}s vs {local_only:.4f}s"
+    )
+
+
+# -- 7. readahead ----------------------------------------------------------------------
+
+
+def test_ablation_readahead_sequential_scan(benchmark):
+    """Sequential scans with think time: prefetch hides iod latency."""
+    from repro.cluster.cluster import Cluster
+
+    def scenario(readahead: bool) -> float:
+        config = ClusterConfig(
+            compute_nodes=1,
+            iod_nodes=1,
+            caching=True,
+            cache=CacheConfig(readahead=readahead),
+        )
+        cluster = Cluster(config)
+        client = cluster.client("node0")
+
+        def app(env):
+            f = yield from client.open("/scan")
+            t0 = env.now
+            for i in range(32):
+                yield from client.read(f, i * 16384, 16384)
+                yield env.timeout(2e-3)  # compute on the data
+            return env.now - t0
+
+        proc = cluster.env.process(app(cluster.env))
+        return cluster.env.run(until=proc)
+
+    def run():
+        return scenario(False), scenario(True)
+
+    plain, prefetched = once(benchmark, run)
+    benchmark.extra_info["no_readahead_s"] = plain
+    benchmark.extra_info["readahead_s"] = prefetched
+    assert prefetched < plain
+
+
+# -- 8. fabric model --------------------------------------------------------------------
+
+
+def test_ablation_hub_vs_switch(benchmark):
+    """The paper's literal shared hub serialises everything: the same
+    workload must be slower than on the switched default."""
+
+    def run():
+        hub = single_instance_outcome(
+            262144, "read", False, 0.0, fabric="hub"
+        )
+        switch = single_instance_outcome(
+            262144, "read", False, 0.0, fabric="switch"
+        )
+        return hub.mean_read_latency, switch.mean_read_latency
+
+    hub, switch = once(benchmark, run)
+    benchmark.extra_info["hub_s"] = hub
+    benchmark.extra_info["switch_s"] = switch
+    assert hub > switch

@@ -1,0 +1,98 @@
+"""Benchmark: application-level workloads (paper's future-work item on
+application benchmarks with data sharing).
+
+Runs each synthetic application of :mod:`repro.workload.apps` and the
+Figure-1-style mix, with and without the cache module, asserting the
+expected per-pattern benefit.
+"""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.cluster import Cluster
+from repro.workload.apps import (
+    ArchiveMaintainer,
+    AssociationMiningScan,
+    OutOfCoreMatrixMultiply,
+    VideoFrameExtractor,
+    analysis_cycle_mix,
+    run_app_mix,
+)
+
+from benchmarks.conftest import once
+
+
+def _cluster(caching: bool, nodes: int = 2, separate_iods: bool = False) -> Cluster:
+    return Cluster(
+        ClusterConfig(
+            compute_nodes=nodes,
+            iod_nodes=nodes,
+            caching=caching,
+            separate_iod_nodes=separate_iods,
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "app_cls,kwargs,expect_benefit",
+    [
+        (OutOfCoreMatrixMultiply, {"tiles": 4}, True),
+        (AssociationMiningScan, {"dataset_bytes": 512 * 1024, "passes": 4}, True),
+        (VideoFrameExtractor, {"frames": 24, "stride": 1}, False),
+        (ArchiveMaintainer, {"batches": 16}, True),
+    ],
+)
+def test_single_app(benchmark, app_cls, kwargs, expect_benefit):
+    def run():
+        times = {}
+        for caching in (True, False):
+            # dedicated iod pool: all data crosses the wire, so the
+            # cache's savings (or pure overhead) are fully visible
+            cluster = _cluster(caching, nodes=1, separate_iods=True)
+            app = app_cls(cluster, "node0", **kwargs)
+            times[caching] = run_app_mix(cluster, [app])[0].elapsed_s
+        return times
+
+    times = once(benchmark, run)
+    benchmark.extra_info["caching_s"] = times[True]
+    benchmark.extra_info["no_caching_s"] = times[False]
+    if expect_benefit:
+        assert times[True] < times[False], (
+            f"{app_cls.__name__} should benefit from caching: {times}"
+        )
+    else:
+        # streaming without reuse: caching must at least not hurt much
+        assert times[True] < times[False] * 1.3
+
+
+def test_analysis_cycle_mix(benchmark):
+    """The multiprogrammed Figure-1 mix: shared cache wins overall."""
+
+    def run():
+        times = {}
+        for caching in (True, False):
+            cluster = _cluster(caching)
+            apps = analysis_cycle_mix(cluster, ["node0", "node1"])
+            results = run_app_mix(cluster, apps)
+            times[caching] = max(r.elapsed_s for r in results)
+        return times
+
+    times = once(benchmark, run)
+    benchmark.extra_info["caching_s"] = times[True]
+    benchmark.extra_info["no_caching_s"] = times[False]
+    assert times[True] < times[False]
+
+
+def test_mix_inter_application_hits(benchmark):
+    """The mix's speedup comes from cross-application hits: verify the
+    counters actually show them."""
+
+    def run():
+        cluster = _cluster(True)
+        apps = analysis_cycle_mix(cluster, ["node0", "node1"])
+        run_app_mix(cluster, apps)
+        return cluster.metrics.count("cache.hits")
+
+    hits = once(benchmark, run)
+    benchmark.extra_info["cache_hits"] = hits
+    assert hits > 0

@@ -1,0 +1,55 @@
+"""Benchmark: two-phase collective I/O vs independent access, with and
+without the kernel cache (the MPI-IO interplay from related work)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig
+from repro.pvfs.collective import run_interleaved_read
+
+from benchmarks.conftest import once
+
+RANKS = ["node0", "node0", "node1", "node1"]
+
+
+def _measure(collective: bool, caching: bool, mode: str = "read") -> float:
+    cluster = Cluster(
+        ClusterConfig(compute_nodes=2, iod_nodes=2, caching=caching)
+    )
+    return run_interleaved_read(
+        cluster, RANKS, item_bytes=2048, items_per_rank=32,
+        collective=collective, mode=mode,
+    )
+
+
+def test_two_phase_read_beats_independent(benchmark):
+    def run():
+        return _measure(True, False), _measure(False, False)
+
+    collective, independent = once(benchmark, run)
+    benchmark.extra_info["collective_s"] = collective
+    benchmark.extra_info["independent_s"] = independent
+    assert collective < independent
+
+
+def test_two_phase_write_beats_independent(benchmark):
+    def run():
+        return _measure(True, False, "write"), _measure(False, False, "write")
+
+    collective, independent = once(benchmark, run)
+    assert collective < independent
+
+
+def test_cache_reduces_independent_penalty(benchmark):
+    """The kernel cache merges co-located ranks' sub-block items,
+    narrowing the gap user-level collectives exist to close."""
+
+    def run():
+        gap_nocache = _measure(False, False) / _measure(True, False)
+        gap_cache = _measure(False, True) / _measure(True, True)
+        return gap_nocache, gap_cache
+
+    gap_nocache, gap_cache = once(benchmark, run)
+    benchmark.extra_info["gap_without_cache"] = gap_nocache
+    benchmark.extra_info["gap_with_cache"] = gap_cache
+    assert gap_cache < gap_nocache

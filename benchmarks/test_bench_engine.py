@@ -1,0 +1,115 @@
+"""Micro-benchmarks of the simulation engine itself.
+
+Host-side performance (wall-clock per simulated event) bounds how big
+a cluster/workload the library can simulate; these benches track it.
+Unlike the figure benches, these use multiple rounds — they measure
+the simulator, not the simulation.
+"""
+
+import pytest
+
+from repro.net import Message, Network
+from repro.sim import Environment, Resource, Store
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw timeout scheduling: one process ping-ponging the clock."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.timeout(1)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 10_000
+
+
+def test_process_spawn_throughput(benchmark):
+    """Spawning and completing many short-lived processes."""
+
+    def run():
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1)
+
+        for _ in range(5_000):
+            env.process(worker(env))
+        env.run()
+        return env.now
+
+    benchmark(run)
+
+
+def test_resource_contention_throughput(benchmark):
+    """FIFO resource handoffs (the CPU/lock hot path)."""
+
+    def run():
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def worker(env):
+            for _ in range(100):
+                with res.request() as req:
+                    yield req
+                    yield env.timeout(0.001)
+
+        for _ in range(20):
+            env.process(worker(env))
+        env.run()
+
+    benchmark(run)
+
+
+def test_store_handoff_throughput(benchmark):
+    """Producer/consumer mailbox traffic (daemon queues)."""
+
+    def run():
+        env = Environment()
+        store = Store(env)
+
+        def producer(env):
+            for i in range(5_000):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(5_000):
+                yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+
+    benchmark(run)
+
+
+def test_network_message_throughput(benchmark):
+    """End-to-end message delivery through the switched fabric."""
+
+    def run():
+        env = Environment()
+        net = Network(env)
+        inbox = net.register("dst", 1)
+
+        def sender(env):
+            for _ in range(500):
+                msg = Message(kind="bench", size_bytes=4096,
+                              src="src", dst="dst")
+                yield net.send(msg, 1)
+
+        def receiver(env):
+            for _ in range(500):
+                yield inbox.get()
+
+        env.process(sender(env))
+        env.process(receiver(env))
+        env.run()
+        return net.messages_delivered
+
+    assert benchmark(run) == 500

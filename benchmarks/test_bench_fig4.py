@@ -1,0 +1,66 @@
+"""Benchmark: Figure 4 — caching overhead at l=0 (worst case).
+
+Each bench regenerates one point of the figure and asserts the paper's
+qualitative claim: (a) read overhead is small; (b) write-behind wins
+at small request sizes and the gap narrows as d grows.
+"""
+
+import pytest
+
+from benchmarks.conftest import once, single_instance_outcome
+
+READ_SIZES = [4096, 65536, 262144]
+WRITE_SIZES = [4096, 65536, 262144]
+
+
+@pytest.mark.parametrize("d", READ_SIZES)
+def test_fig4a_read_overhead(benchmark, d):
+    def run():
+        with_cache = single_instance_outcome(d, "read", True, 0.0)
+        without = single_instance_outcome(d, "read", False, 0.0)
+        return with_cache.mean_read_latency, without.mean_read_latency
+
+    cached, plain = once(benchmark, run)
+    benchmark.extra_info["caching_s"] = cached
+    benchmark.extra_info["no_caching_s"] = plain
+    # "the differences between the two are not very significant"
+    assert cached < plain * 1.5, (
+        f"l=0 read overhead too large at d={d}: {cached:.4f}s vs {plain:.4f}s"
+    )
+
+
+@pytest.mark.parametrize("d", WRITE_SIZES)
+def test_fig4b_write_behind(benchmark, d):
+    def run():
+        with_cache = single_instance_outcome(d, "write", True, 0.0)
+        without = single_instance_outcome(d, "write", False, 0.0)
+        return with_cache.mean_write_latency, without.mean_write_latency
+
+    cached, plain = once(benchmark, run)
+    benchmark.extra_info["caching_s"] = cached
+    benchmark.extra_info["no_caching_s"] = plain
+    if d <= 65536:
+        # small d: write-behind wins clearly
+        assert cached < plain, (
+            f"write-behind should win at d={d}: {cached:.4f}s vs {plain:.4f}s"
+        )
+    else:
+        # large d: differences lessen (cache-space blocking)
+        assert cached < plain * 2.0
+
+
+def test_fig4b_gap_narrows_with_d(benchmark):
+    """The caching advantage shrinks monotonically toward large d."""
+
+    def run():
+        ratios = []
+        for d in (4096, 262144):
+            cached = single_instance_outcome(d, "write", True, 0.0)
+            plain = single_instance_outcome(d, "write", False, 0.0)
+            ratios.append(
+                plain.mean_write_latency / cached.mean_write_latency
+            )
+        return ratios
+
+    small_d_ratio, large_d_ratio = once(benchmark, run)
+    assert small_d_ratio > large_d_ratio

@@ -1,0 +1,53 @@
+"""Benchmark: Figure 5 — caching benefit at l=1 (best case).
+
+Asserts the paper's claims: substantial wins for both reads and
+writes, with benefits that hold across request sizes (and only the
+smallest requests showing thin margins).
+"""
+
+import pytest
+
+from benchmarks.conftest import once, single_instance_outcome
+
+SIZES = [4096, 65536, 262144]
+
+
+@pytest.mark.parametrize("d", SIZES)
+def test_fig5a_read_benefit(benchmark, d):
+    def run():
+        with_cache = single_instance_outcome(d, "read", True, 1.0)
+        without = single_instance_outcome(d, "read", False, 1.0)
+        return with_cache.mean_read_latency, without.mean_read_latency
+
+    cached, plain = once(benchmark, run)
+    benchmark.extra_info["speedup"] = plain / cached
+    assert cached < plain, f"l=1 reads must win at d={d}"
+    if d >= 65536:
+        assert plain / cached > 2.0, (
+            f"l=1 read speedup too small at d={d}: {plain / cached:.2f}x"
+        )
+
+
+@pytest.mark.parametrize("d", SIZES)
+def test_fig5b_write_benefit(benchmark, d):
+    def run():
+        with_cache = single_instance_outcome(d, "write", True, 1.0)
+        without = single_instance_outcome(d, "write", False, 1.0)
+        return with_cache.mean_write_latency, without.mean_write_latency
+
+    cached, plain = once(benchmark, run)
+    benchmark.extra_info["speedup"] = plain / cached
+    assert cached < plain, f"l=1 writes must win at d={d}"
+
+
+def test_fig5_beats_fig4(benchmark):
+    """Locality turns overhead into benefit: the caching version's l=1
+    read time must undercut its own l=0 time."""
+
+    def run():
+        hot = single_instance_outcome(65536, "read", True, 1.0)
+        cold = single_instance_outcome(65536, "read", True, 0.0)
+        return hot.mean_read_latency, cold.mean_read_latency
+
+    hot, cold = once(benchmark, run)
+    assert hot < cold / 2

@@ -1,0 +1,68 @@
+"""Benchmark: Figure 6 — inter-application caching benefits (p=4).
+
+Two instances time-share the same four nodes.  Asserts: caching beats
+original PVFS for non-zero sharing even at l=0; benefits grow with
+sharing and with locality.
+"""
+
+import pytest
+
+from benchmarks.conftest import once, two_instance_outcome
+
+D = 65536
+
+
+@pytest.mark.parametrize("sharing", [0.25, 0.50, 0.75, 1.00])
+def test_fig6a_l0_sharing_beats_nocache(benchmark, sharing):
+    def run():
+        cached = two_instance_outcome(D, 0.0, sharing, True)
+        plain = two_instance_outcome(D, 0.0, sharing, False)
+        return cached.makespan, plain.makespan
+
+    cached, plain = once(benchmark, run)
+    benchmark.extra_info["caching_s"] = cached
+    benchmark.extra_info["no_caching_s"] = plain
+    # "even in the l=0 case ... the caching version does better than
+    # the original PVFS for nearly all non-zero percentages"
+    assert cached < plain, (
+        f"s={sharing}: caching {cached:.3f}s vs no-caching {plain:.3f}s"
+    )
+
+
+def test_fig6a_benefit_grows_with_sharing(benchmark):
+    def run():
+        return [
+            two_instance_outcome(D, 0.0, s, True).makespan
+            for s in (0.25, 0.75)
+        ]
+
+    low_sharing, high_sharing = once(benchmark, run)
+    assert high_sharing < low_sharing
+
+
+@pytest.mark.parametrize("locality", [0.5, 1.0])
+def test_fig6bc_locality_amplifies(benchmark, locality):
+    def run():
+        cached = two_instance_outcome(D, locality, 0.5, True)
+        plain = two_instance_outcome(D, locality, 0.5, False)
+        return cached.makespan, plain.makespan
+
+    cached, plain = once(benchmark, run)
+    benchmark.extra_info["speedup"] = plain / cached
+    floor = 1.5 if locality == 0.5 else 3.0
+    assert plain / cached > floor, (
+        f"l={locality}: speedup {plain / cached:.2f}x below {floor}x"
+    )
+
+
+def test_fig6_total_time_falls_with_block_size(benchmark):
+    """Total data constant: bigger requests => fewer calls => less time."""
+
+    def run():
+        return [
+            two_instance_outcome(d, 0.5, 0.5, True).makespan
+            for d in (4096, 262144)
+        ]
+
+    small_d, large_d = once(benchmark, run)
+    assert large_d < small_d

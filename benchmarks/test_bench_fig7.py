@@ -1,0 +1,53 @@
+"""Benchmark: Figure 7 — inter-application caching at p=2.
+
+Same workload as Figure 6 on two nodes.  Extra claim checked: "when we
+compare the experiments for p = 2 and 4, the caching benefits for the
+larger p are more significant" — caching scales with parallelism.
+"""
+
+import pytest
+
+from benchmarks.conftest import once, two_instance_outcome
+
+D = 65536
+
+
+@pytest.mark.parametrize("sharing", [0.25, 1.00])
+def test_fig7a_l0_sharing_beats_nocache(benchmark, sharing):
+    def run():
+        cached = two_instance_outcome(D, 0.0, sharing, True, p=2)
+        plain = two_instance_outcome(D, 0.0, sharing, False, p=2)
+        return cached.makespan, plain.makespan
+
+    cached, plain = once(benchmark, run)
+    assert cached < plain
+
+
+@pytest.mark.parametrize("locality", [0.5, 1.0])
+def test_fig7bc_locality_benefit(benchmark, locality):
+    def run():
+        cached = two_instance_outcome(D, locality, 0.5, True, p=2)
+        plain = two_instance_outcome(D, locality, 0.5, False, p=2)
+        return plain.makespan / cached.makespan
+
+    speedup = once(benchmark, run)
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup > 1.3
+
+
+def test_fig7_vs_fig6_scalability(benchmark):
+    """p=4 caching speedup exceeds p=2 caching speedup (l=1)."""
+
+    def run():
+        speedups = {}
+        for p in (2, 4):
+            cached = two_instance_outcome(D, 1.0, 0.5, True, p=p)
+            plain = two_instance_outcome(D, 1.0, 0.5, False, p=p)
+            speedups[p] = plain.makespan / cached.makespan
+        return speedups
+
+    speedups = once(benchmark, run)
+    benchmark.extra_info["speedups"] = str(speedups)
+    assert speedups[4] > speedups[2], (
+        f"caching should scale with p: {speedups}"
+    )

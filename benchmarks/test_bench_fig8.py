@@ -1,0 +1,86 @@
+"""Benchmark: Figure 8 — can caching compensate for lost parallelism?
+
+Three placements of two data-sharing apps on a 6-node cluster:
+co-located with caching (3 nodes), spread without caching (6 nodes),
+co-located without caching.  Asserts the paper's scheduling result:
+parallelism wins at l=0 (low sharing), caching wins from l=0.5 up,
+and un-cached co-location is always worst.
+"""
+
+import pytest
+
+from benchmarks.conftest import once, two_instance_outcome
+
+D = 65536
+COLOC = [["node0", "node1", "node2"]] * 2
+SPREAD = [["node0", "node1", "node2"], ["node3", "node4", "node5"]]
+
+
+def _variant(variant: str, locality: float, sharing: float):
+    if variant == "cache-coloc":
+        return two_instance_outcome(
+            D, locality, sharing, True, compute_nodes=6, node_sets=COLOC
+        )
+    if variant == "nocache-spread":
+        return two_instance_outcome(
+            D, locality, sharing, False, compute_nodes=6, node_sets=SPREAD
+        )
+    return two_instance_outcome(
+        D, locality, sharing, False, compute_nodes=6, node_sets=COLOC
+    )
+
+
+def test_fig8a_parallelism_wins_at_l0_low_sharing(benchmark):
+    def run():
+        cache = _variant("cache-coloc", 0.0, 0.25).makespan
+        spread = _variant("nocache-spread", 0.0, 0.25).makespan
+        return cache, spread
+
+    cache, spread = once(benchmark, run)
+    benchmark.extra_info["cache_coloc_s"] = cache
+    benchmark.extra_info["nocache_spread_s"] = spread
+    # "the parallelism benefit ... is much higher than the
+    # inter-application caching effects" (worst case for caching)
+    assert spread < cache
+
+
+@pytest.mark.parametrize("locality", [0.5, 1.0])
+def test_fig8bc_caching_offsets_parallelism_loss(benchmark, locality):
+    def run():
+        cache = _variant("cache-coloc", locality, 0.5).makespan
+        spread = _variant("nocache-spread", locality, 0.5).makespan
+        return cache, spread
+
+    cache, spread = once(benchmark, run)
+    benchmark.extra_info["cache_coloc_s"] = cache
+    benchmark.extra_info["nocache_spread_s"] = spread
+    assert cache < spread, (
+        f"l={locality}: caching on 3 nodes ({cache:.3f}s) should beat "
+        f"spreading over 6 ({spread:.3f}s)"
+    )
+
+
+@pytest.mark.parametrize("locality", [0.0, 1.0])
+def test_fig8_uncached_colocation_always_worst(benchmark, locality):
+    def run():
+        return {
+            v: _variant(v, locality, 0.5).makespan
+            for v in ("cache-coloc", "nocache-spread", "nocache-coloc")
+        }
+
+    times = once(benchmark, run)
+    benchmark.extra_info.update({k: v for k, v in times.items()})
+    assert times["nocache-coloc"] >= times["cache-coloc"]
+    assert times["nocache-coloc"] >= times["nocache-spread"]
+
+
+def test_fig8_sharing_favours_colocation(benchmark):
+    """Higher sharing tilts the balance further toward caching (l=0)."""
+
+    def run():
+        return [
+            _variant("cache-coloc", 0.0, s).makespan for s in (0.25, 1.0)
+        ]
+
+    low, high = once(benchmark, run)
+    assert high < low

@@ -1,0 +1,33 @@
+"""Benchmark: the '< 400 us per 4 KB block' hit-path claim (Sec. 4.2).
+
+Regenerates the paper's inline micro-measurement: the extra cost the
+cache module adds to a socket call — hash lookup plus the copy of the
+block to user space — must stay under 400 microseconds per 4 KB block.
+"""
+
+import pytest
+
+from repro.experiments.overhead import PAPER_BOUND_S, measure_hit_cost
+
+from benchmarks.conftest import once
+
+
+@pytest.mark.parametrize("n_blocks", [1, 16, 64])
+def test_hit_service_cost_per_block(benchmark, n_blocks):
+    measurement = once(benchmark, lambda: measure_hit_cost(n_blocks))
+    per_block = measurement.per_block_s
+    benchmark.extra_info["per_block_us"] = per_block * 1e6
+    assert per_block < PAPER_BOUND_S, (
+        f"hit path costs {per_block * 1e6:.0f} us/block, "
+        f"paper requires < {PAPER_BOUND_S * 1e6:.0f} us"
+    )
+
+
+def test_hit_cost_scales_linearly(benchmark):
+    """Per-block cost must not grow with request size (O(1) lookup)."""
+
+    def run():
+        return measure_hit_cost(1), measure_hit_cost(64)
+
+    small, large = once(benchmark, run)
+    assert large.per_block_s <= small.per_block_s * 1.2

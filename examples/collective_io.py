@@ -1,0 +1,68 @@
+"""Two-phase collective I/O meets the kernel cache.
+
+The paper's related work contrasts its kernel cache with MPI-IO's
+user-level optimizations ("the main optimizations in MPI-IO are for
+non-contiguous parallel accesses to shared data") and notes MPI-IO's
+"response time is largely determined by the caching capabilities
+provided by the underlying file system."  This example puts both
+layers on the same cluster and measures their interplay:
+
+four ranks read an interleaved 2 KB-item matrix slab, each combination
+of {independent, two-phase collective} x {no cache, kernel cache}.
+
+Run:  python examples/collective_io.py
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig
+from repro.pvfs.collective import run_interleaved_read
+
+ITEM = 2048
+ITEMS = 32
+RANKS = ["node0", "node0", "node1", "node1"]  # adjacent ranks co-located
+
+
+def measure(collective: bool, caching: bool) -> float:
+    cluster = Cluster(
+        ClusterConfig(compute_nodes=2, iod_nodes=2, caching=caching)
+    )
+    return run_interleaved_read(
+        cluster, RANKS, item_bytes=ITEM, items_per_rank=ITEMS,
+        collective=collective,
+    )
+
+
+def main() -> None:
+    print(
+        f"4 ranks x {ITEMS} interleaved items of {ITEM} B "
+        "(rank-cyclic layout), 2 nodes:\n"
+    )
+    rows = []
+    for collective in (False, True):
+        for caching in (False, True):
+            t = measure(collective, caching)
+            rows.append((collective, caching, t))
+    print(f"  {'access method':<22} {'cache':>6}   time")
+    for collective, caching, t in rows:
+        method = "two-phase collective" if collective else "independent"
+        cache = "yes" if caching else "no"
+        print(f"  {method:<22} {cache:>6}  {t * 1e3:7.1f} ms")
+    indep_plain = rows[0][2]
+    indep_cached = rows[1][2]
+    coll_plain = rows[2][2]
+    print(
+        "\nThe collective fixes scattered small I/O at user level "
+        f"({indep_plain / coll_plain:.0f}x);"
+    )
+    print(
+        "the kernel cache fixes much of it transparently "
+        f"({indep_plain / indep_cached:.1f}x) by merging co-located"
+    )
+    print(
+        "ranks' sub-block items into shared 4 KB fetches — exactly the"
+        "\nfile-system-level caching MPI-IO implementations rely on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,222 @@
+"""The flusher kernel thread (client side of write-behind).
+
+The paper: "On a write, cache blocks are not immediately propagated to
+the server (the write is performed on the cache and control is
+returned back to libpvfs).  The blocks are marked dirty (kept in a
+dirty list), and this list is flushed periodically to the iod nodes.
+A server version of this flusher thread runs on the iod nodes, which
+listens on a separate socket for the flushes."
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cache.block import BlockState, CacheBlock
+from repro.cache.manager import BufferManager
+from repro.cluster.node import Node
+from repro.metrics import Metrics
+from repro.net import Message
+from repro.net.rpc import RpcChannel
+from repro.pvfs import protocol
+from repro.pvfs.protocol import FlushBatch, FlushEntry
+from repro.pvfs.striping import StripeLayout
+from repro.sim import Process
+
+
+class Flusher:
+    """Periodically ships dirty blocks to the iods' flush ports."""
+
+    def __init__(
+        self,
+        node: Node,
+        manager: BufferManager,
+        layout: StripeLayout,
+        iod_nodes: _t.Sequence[str],
+        metrics: Metrics,
+        period_s: float,
+        flush_port: int = 7001,
+    ) -> None:
+        self.node = node
+        self.env = node.env
+        self.manager = manager
+        self.layout = layout
+        self.iod_nodes = tuple(iod_nodes)
+        self.metrics = metrics
+        self.period_s = period_s
+        self.flush_port = flush_port
+        self._channels: dict[str, RpcChannel] = {}
+        self._proc: Process | None = None
+        #: Blocks whose dirty data is on the wire right now; a second
+        #: flush request for them is skipped (no duplicate shipping).
+        self._inflight: set[CacheBlock] = set()
+        #: Hook: called whenever blocks become clean (the harvester
+        #: wires its wake() here so evictions pipeline with flushing).
+        self.on_clean: _t.Callable[[], None] | None = None
+
+    def start(self) -> None:
+        """Spawn the periodic write-back thread."""
+        self._proc = self.env.process(
+            self._loop(), name=f"flusher-{self.node.name}"
+        )
+
+    def _loop(self) -> _t.Generator:
+        while True:
+            # Under write pressure (more dirty blocks than the
+            # harvester's refill target) flush back-to-back; otherwise
+            # wake at the configured period.
+            if self.manager.n_dirty <= self.manager.config.high_blocks:
+                yield self.env.timeout(self.period_s)
+            shipped = yield from self.flush_round()
+            if shipped == 0 and self.manager.n_dirty:
+                # Everything dirty is already on the wire (e.g. a
+                # harvester-initiated flush): give those batches time
+                # to ack instead of spinning.
+                yield self.env.timeout(self.period_s / 16)
+
+    def flush_round(self) -> _t.Generator:
+        """One write-back pass over the current dirty list.  Returns
+        how many blocks were actually cleaned."""
+        blocks = self.manager.dirtylist.snapshot()
+        if not blocks:
+            return 0
+        cleaned = yield from self.flush_blocks(blocks)
+        return cleaned
+
+    def flush_blocks(self, blocks: _t.Sequence[CacheBlock]) -> _t.Generator:
+        """Ship the dirty fragments of ``blocks``; mark clean on ack.
+
+        Returns once every batch is acked (blocks become evictable
+        earlier, as their own iod acks).
+        """
+        waiters = yield from self.initiate_flush(blocks)
+        if not waiters:
+            return 0
+        results = yield self.env.all_of(waiters)
+        cleaned = sum(results.values())
+        self.metrics.inc("flusher.blocks_cleaned", cleaned)
+        return cleaned
+
+    def initiate_flush(
+        self, blocks: _t.Sequence[CacheBlock]
+    ) -> _t.Generator:
+        """Ship batches without waiting for acks.
+
+        Blocks are registered in-flight *before* any yield, so a
+        caller probing ``_inflight`` right after initiating (the
+        harvester's loop) never double-ships.  One batch per iod,
+        acknowledged independently: blocks become clean (and
+        evictable) as soon as *their* iod acks, so eviction pipelines
+        with the rest of the flush instead of waiting for the slowest
+        server.  Returns the per-batch waiter processes.
+        """
+        per_iod_frags: dict[str, list[tuple[int, int, int, bytes | None]]] = {}
+        per_iod_caps: dict[str, list[tuple[CacheBlock, int]]] = {}
+        for block in blocks:
+            if (
+                block.state is not BlockState.DIRTY
+                or block.key is None
+                or block in self._inflight
+            ):
+                continue
+            file_id, block_no = block.key
+            base = block_no * block.block_size
+            iod_node = self.iod_nodes[self.layout.iod_index(base)]
+            frags = per_iod_frags.setdefault(iod_node, [])
+            for start, end in block.dirty.intervals:
+                frags.append(
+                    (
+                        file_id,
+                        base + start,
+                        end - start,
+                        block.read_slice(start, end),
+                    )
+                )
+            per_iod_caps.setdefault(iod_node, []).append(
+                (block, block.dirty_epoch)
+            )
+            self._inflight.add(block)
+        if not per_iod_frags:
+            return []
+        waiters = []
+        for iod_node in sorted(per_iod_frags):
+            entries = self._coalesce(per_iod_frags[iod_node])
+            channel = yield from self._channel(iod_node)
+            batch = FlushBatch(entries=entries)
+            call = channel.call(
+                Message(
+                    kind=protocol.FLUSH,
+                    size_bytes=batch.wire_size(),
+                    payload=batch,
+                )
+            )
+            self.metrics.inc("flusher.batches")
+            self.metrics.inc("flusher.bytes", batch.total_bytes)
+            waiters.append(
+                self.env.process(
+                    self._await_batch(call, per_iod_caps[iod_node]),
+                    name=f"flush-ack-{self.node.name}-{iod_node}",
+                )
+            )
+        return waiters
+
+    def _await_batch(
+        self, call, captured: list[tuple[CacheBlock, int]]
+    ) -> _t.Generator:
+        ack = yield call.response()
+        if ack.kind != protocol.FLUSH_ACK:
+            raise ValueError(f"expected flush ack, got {ack.kind!r}")
+        call.close()
+        cleaned = 0
+        for block, epoch in captured:
+            self._inflight.discard(block)
+            if self.manager.note_cleaned(block, epoch):
+                cleaned += 1
+        if cleaned and self.on_clean is not None:
+            self.on_clean()
+        return cleaned
+
+    def _coalesce(
+        self, fragments: list[tuple[int, int, int, bytes | None]]
+    ) -> list[FlushEntry]:
+        """Merge adjacent dirty fragments into long ranges (sequential
+        writes dirty long runs of blocks; shipping them as single
+        ranges keeps both the wire and the iods' writeback efficient).
+        """
+        fragments = sorted(fragments, key=lambda f: (f[0], f[1]))
+        merged: list[list] = []
+        for file_id, off, n, data in fragments:
+            if (
+                merged
+                and merged[-1][0] == file_id
+                and merged[-1][1] + merged[-1][2] == off
+                and (merged[-1][3] is None) == (data is None)
+            ):
+                merged[-1][2] += n
+                if data is not None:
+                    merged[-1][3] += data
+            else:
+                merged.append([file_id, off, n, data])
+        return [
+            FlushEntry(file_id=f, offset=o, nbytes=n, data=d)
+            for f, o, n, d in merged
+        ]
+
+    def drain(self) -> _t.Generator:
+        """Flush until nothing is dirty (tests / orderly shutdown)."""
+        while self.manager.n_dirty:
+            cleaned = yield from self.flush_round()
+            if cleaned == 0:
+                # Batches already in flight (or raced writes): let
+                # their acks land before probing again.
+                yield self.env.timeout(self.period_s / 16)
+
+    def _channel(self, iod_node: str) -> _t.Generator:
+        channel = self._channels.get(iod_node)
+        if channel is None:
+            endpoint = yield self.env.process(
+                self.node.sockets.connect(iod_node, self.flush_port)
+            )
+            channel = RpcChannel(endpoint)
+            self._channels[iod_node] = channel
+        return channel

@@ -1,0 +1,191 @@
+"""The buffer manager: the paper's "full-fledged buffer manager of
+blocks, requiring the implementation of hash tables, free list and
+dirty list"."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cache.block import BlockKey, BlockState, CacheBlock
+from repro.cache.clock import ClockPolicy, ExactLRUPolicy
+from repro.cache.dirtylist import DirtyList
+from repro.cache.freelist import FreeList
+from repro.cache.hashtable import BlockHashTable
+from repro.cluster.config import CacheConfig
+from repro.metrics import Metrics
+from repro.sim import Environment
+
+
+class BufferManager:
+    """Owns every cache frame of one node's cache module.
+
+    Hot-path operations (``lookup``, ``insert``) are synchronous —
+    atomic in the cooperative simulation, mirroring the short critical
+    sections the paper protects with fine-grained locks.  The
+    multi-step miss path yields (waiting for a free block), so
+    duplicate fetches for one key are prevented with an in-flight
+    reservation map: the second requester waits for the first one's
+    allocation instead of allocating a twin.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: CacheConfig,
+        metrics: Metrics,
+        name: str = "cache",
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.metrics = metrics
+        self.name = name
+        self.blocks = [
+            CacheBlock(i, config.block_size) for i in range(config.n_blocks)
+        ]
+        self.table = BlockHashTable(n_buckets_hint=2 * config.n_blocks)
+        self.freelist = FreeList(
+            env,
+            self.blocks,
+            low_blocks=config.low_blocks,
+            high_blocks=config.high_blocks,
+        )
+        self.dirtylist = DirtyList()
+        if config.replacement == "clock":
+            self.policy: _t.Any = ClockPolicy()
+        else:
+            self.policy = ExactLRUPolicy()
+        self._inflight: dict[BlockKey, _t.Any] = {}
+
+    # -- residency -------------------------------------------------------------
+    @property
+    def n_resident(self) -> int:
+        """Blocks currently in the hash table."""
+        return len(self.table)
+
+    @property
+    def n_free(self) -> int:
+        """Blocks currently on the free list."""
+        return len(self.freelist)
+
+    @property
+    def n_dirty(self) -> int:
+        """Blocks currently on the dirty list."""
+        return len(self.dirtylist)
+
+    def lookup(self, key: BlockKey) -> CacheBlock | None:
+        """Hash probe; touches the replacement policy on a find."""
+        block = self.table.get(key)
+        if block is not None:
+            self.policy.touch(block)
+        return block
+
+    def get_or_allocate(self, key: BlockKey) -> _t.Generator:
+        """Process body: return ``(block, was_resident)``.
+
+        Misses allocate a fresh PENDING block (waiting on the free
+        list if it is dry — the paper's blocking-for-cache-space).
+        Concurrent misses on one key coalesce onto a single block.
+        """
+        while True:
+            block = self.table.get(key)
+            if block is not None:
+                self.policy.touch(block)
+                return block, True
+            pending = self._inflight.get(key)
+            if pending is not None:
+                # Someone else is allocating this key: wait, then
+                # re-probe (their block may even be gone again).
+                yield pending
+                continue
+            reservation = self.env.event()
+            self._inflight[key] = reservation
+            try:
+                block = yield from self.freelist.acquire()
+            except BaseException:
+                del self._inflight[key]
+                reservation.succeed(None)
+                raise
+            block.assign(key, self.env.event())
+            self.table.insert(block)
+            self.policy.admit(block)
+            del self._inflight[key]
+            reservation.succeed(block)
+            self.metrics.inc(f"{self.name}.allocations")
+            return block, False
+
+    # -- dirty tracking ------------------------------------------------------------
+    def note_write(self, block: CacheBlock) -> None:
+        """Register a block the caller just dirtied."""
+        self.dirtylist.add(block)
+
+    def note_cleaned(self, block: CacheBlock, epoch: int) -> bool:
+        """Flusher callback: mark clean unless a write raced the flush."""
+        if block.mark_clean(epoch):
+            self.dirtylist.discard(block)
+            return True
+        return False
+
+    # -- eviction --------------------------------------------------------------------
+    def evict(self, block: CacheBlock, force: bool = False) -> None:
+        """Return a resident block to the free list.
+
+        Dirty blocks may only be evicted with ``force`` (used by
+        coherence invalidations, where the remote sync_write wins);
+        the harvester must flush them first instead.
+        """
+        if block.state is BlockState.FREE:
+            raise ValueError(f"evict of free block {block!r}")
+        if block.pins:
+            raise ValueError(f"evict of pinned block {block!r}")
+        if block.state is BlockState.DIRTY and not force:
+            raise ValueError(f"evict of dirty block {block!r} without force")
+        self.policy.forget(block)
+        self.table.remove(block)
+        self.dirtylist.discard(block)
+        block.reset()
+        self.freelist.release(block)
+        self.metrics.inc(f"{self.name}.evictions")
+
+    def invalidate(self, key: BlockKey) -> bool:
+        """Coherence: drop ``key`` if resident (even dirty — the remote
+        sync_write wins).  True when a copy was (or will be) dropped.
+
+        A PENDING block is left alone: its in-flight fetch reads the
+        iod *after* the sync_write landed there, so the data it brings
+        back is already current.  A pinned block (mid-copy in some
+        reader) is marked *doomed* and dropped when the last pin
+        releases — a kernel cannot rip a page out from under an
+        in-progress copy either.
+        """
+        block = self.table.get(key)
+        if block is None:
+            return False
+        if block.state is BlockState.PENDING:
+            return False
+        if block.pins:
+            block.doomed = True
+            self.metrics.inc(f"{self.name}.deferred_invalidations")
+            return True
+        self.evict(block, force=True)
+        self.metrics.inc(f"{self.name}.invalidated_blocks")
+        return True
+
+    def unpin(self, block: CacheBlock) -> None:
+        """Release a pin, completing any deferred invalidation."""
+        block.unpin()
+        if block.doomed and block.pins == 0 and block.state in (
+            BlockState.CLEAN,
+            BlockState.DIRTY,
+        ):
+            self.evict(block, force=True)
+            self.metrics.inc(f"{self.name}.invalidated_blocks")
+
+    def select_victims(self, n: int) -> list[CacheBlock]:
+        """Policy passthrough honouring clean preference."""
+        return self.policy.select_victims(
+            n, prefer_clean=self.config.prefer_clean_eviction
+        )
+
+    def resident_keys(self) -> set[BlockKey]:
+        """Snapshot of resident keys (test/inspection helper)."""
+        return {b.key for b in self.table.blocks() if b.key is not None}

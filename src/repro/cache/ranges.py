@@ -1,0 +1,128 @@
+"""Disjoint byte-interval sets.
+
+Cache blocks track which of their bytes are *valid* (populated by a
+write or a fetch) and which are *dirty* (not yet flushed).  Requests
+are contiguous, but sub-block writes mean a block can be partially
+valid, so both sets are interval lists rather than booleans.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+Interval = tuple[int, int]  # half-open [start, end)
+
+
+class ByteRanges:
+    """A set of disjoint, sorted, half-open integer intervals."""
+
+    __slots__ = ("_ivals",)
+
+    def __init__(self, intervals: _t.Iterable[Interval] = ()) -> None:
+        self._ivals: list[Interval] = []
+        for start, end in intervals:
+            self.add(start, end)
+
+    # -- mutation ------------------------------------------------------------
+    def add(self, start: int, end: int) -> None:
+        """Insert [start, end), merging with touching intervals."""
+        if start > end:
+            raise ValueError(f"inverted interval [{start}, {end})")
+        if start == end:
+            return
+        merged: list[Interval] = []
+        placed = False
+        for s, e in self._ivals:
+            if e < start or s > end:  # disjoint and not adjacent
+                if s > end and not placed:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((s, e))
+            else:  # overlap or adjacency: absorb
+                start, end = min(s, start), max(e, end)
+        if not placed:
+            merged.append((start, end))
+        merged.sort()
+        self._ivals = merged
+
+    def remove(self, start: int, end: int) -> None:
+        """Delete [start, end) from the set (splitting as needed)."""
+        if start > end:
+            raise ValueError(f"inverted interval [{start}, {end})")
+        if start == end:
+            return
+        out: list[Interval] = []
+        for s, e in self._ivals:
+            if e <= start or s >= end:
+                out.append((s, e))
+                continue
+            if s < start:
+                out.append((s, start))
+            if e > end:
+                out.append((end, e))
+        self._ivals = out
+
+    def clear(self) -> None:
+        """Remove every interval."""
+        self._ivals = []
+
+    # -- queries ---------------------------------------------------------------
+    def covers(self, start: int, end: int) -> bool:
+        """True when [start, end) is fully inside one interval."""
+        if start == end:
+            return True
+        return any(s <= start and end <= e for s, e in self._ivals)
+
+    def gaps(self, start: int, end: int) -> list[Interval]:
+        """Sub-intervals of [start, end) NOT covered by this set."""
+        if start > end:
+            raise ValueError(f"inverted interval [{start}, {end})")
+        out: list[Interval] = []
+        cursor = start
+        for s, e in self._ivals:
+            if e <= cursor:
+                continue
+            if s >= end:
+                break
+            if s > cursor:
+                out.append((cursor, min(s, end)))
+            cursor = max(cursor, e)
+            if cursor >= end:
+                break
+        if cursor < end:
+            out.append((cursor, end))
+        return out
+
+    def intersect(self, start: int, end: int) -> list[Interval]:
+        """Sub-intervals of [start, end) covered by this set."""
+        out: list[Interval] = []
+        for s, e in self._ivals:
+            lo, hi = max(s, start), min(e, end)
+            if lo < hi:
+                out.append((lo, hi))
+        return out
+
+    @property
+    def total(self) -> int:
+        """Total bytes covered."""
+        return sum(e - s for s, e in self._ivals)
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The disjoint sorted intervals as a tuple."""
+        return tuple(self._ivals)
+
+    def is_empty(self) -> bool:
+        """True when nothing is covered."""
+        return not self._ivals
+
+    def __bool__(self) -> bool:
+        return bool(self._ivals)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ByteRanges):
+            return self._ivals == other._ivals
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ByteRanges({self._ivals!r})"

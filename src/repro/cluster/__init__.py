@@ -1,0 +1,7 @@
+"""Cluster composition: configuration, nodes, and the cluster builder."""
+
+from repro.cluster.config import CacheConfig, ClusterConfig, CostModel
+from repro.cluster.node import Node
+from repro.cluster.cluster import Cluster
+
+__all__ = ["CacheConfig", "Cluster", "ClusterConfig", "CostModel", "Node"]

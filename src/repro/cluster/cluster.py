@@ -1,0 +1,161 @@
+"""Cluster assembly: build a whole simulated PVFS cluster in one call.
+
+This is the main entry point of the library::
+
+    from repro.cluster import Cluster, ClusterConfig
+
+    cluster = Cluster(ClusterConfig(compute_nodes=4, iod_nodes=4))
+    client = cluster.client("node0")
+
+    def app(env):
+        handle = yield from client.open("/data/file")
+        yield from client.write(handle, 0, 4096, b"x" * 4096)
+        data = yield from client.read(handle, 0, 4096, want_data=True)
+
+    cluster.env.process(app(cluster.env))
+    cluster.env.run()
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cache.module import CacheModule
+from repro.cluster.config import ClusterConfig
+from repro.cluster.node import Node
+from repro.metrics import Metrics
+from repro.net import Network, SharedHubFabric, SwitchedFabric
+from repro.pvfs.client import PVFSClient
+from repro.pvfs.iod import Iod
+from repro.pvfs.mgr import MetadataServer
+from repro.pvfs.striping import StripeLayout
+from repro.sim import Environment
+
+
+class Cluster:
+    """A fully wired cluster: network, nodes, mgr, iods, cache modules."""
+
+    def __init__(
+        self, config: ClusterConfig | None = None, env: Environment | None = None
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.env = env if env is not None else Environment()
+        self.metrics = Metrics()
+        costs = self.config.costs
+
+        fabric_cls = (
+            SharedHubFabric if costs.fabric == "hub" else SwitchedFabric
+        )
+        self.network = Network(
+            self.env,
+            fabric=fabric_cls(
+                self.env,
+                bandwidth_bps=costs.bandwidth_bps,
+                frame_bytes=costs.frame_bytes,
+                base_latency_s=costs.net_latency_s,
+            ),
+        )
+
+        compute_names = self.config.compute_node_names()
+        iod_names = self.config.iod_node_names()
+        self.nodes: dict[str, Node] = {}
+        for name in dict.fromkeys([*compute_names, *iod_names]):
+            self.nodes[name] = Node(
+                self.env,
+                name,
+                self.network,
+                costs,
+                config=self.config,
+                with_disk=name in iod_names,
+            )
+
+        self.layout = StripeLayout(
+            n_iods=len(iod_names), stripe_size=self.config.stripe_size
+        )
+
+        #: The single metadata server lives on the first iod node
+        #: (the usual PVFS deployment).
+        self.mgr = MetadataServer(
+            self.nodes[iod_names[0]],
+            iod_nodes=iod_names,
+            stripe_size=self.config.stripe_size,
+            metrics=self.metrics,
+            port=self.config.MGR_PORT,
+        )
+        self.mgr.start()
+
+        self.iods: list[Iod] = []
+        for idx, name in enumerate(iod_names):
+            iod = Iod(
+                self.nodes[name],
+                layout=self.layout,
+                iod_index=idx,
+                metrics=self.metrics,
+                port=self.config.IOD_PORT,
+                flush_port=self.config.FLUSH_PORT,
+                invalidate_port=self.INVALIDATE_PORT,
+            )
+            iod.start()
+            self.iods.append(iod)
+
+        self.cache_modules: dict[str, CacheModule] = {}
+        if self.config.caching:
+            gcache_directory = None
+            if self.config.cache.global_cache:
+                from repro.cache.global_cache import GlobalCacheDirectory
+
+                gcache_directory = GlobalCacheDirectory(compute_names)
+            for name in compute_names:
+                module = CacheModule(
+                    self.nodes[name],
+                    layout=self.layout,
+                    iod_nodes=iod_names,
+                    metrics=self.metrics,
+                    config=self.config.cache,
+                    iod_port=self.config.IOD_PORT,
+                    flush_port=self.config.FLUSH_PORT,
+                    invalidate_port=self.INVALIDATE_PORT,
+                )
+                if gcache_directory is not None:
+                    from repro.cache.global_cache import GlobalCacheClient
+
+                    module.gcache = GlobalCacheClient(module, gcache_directory)
+                module.start()
+                self.nodes[name].cache_module = module
+                self.cache_modules[name] = module
+
+    INVALIDATE_PORT = 7002
+
+    @property
+    def compute_nodes(self) -> list[str]:
+        """Names of the compute nodes."""
+        return self.config.compute_node_names()
+
+    @property
+    def iod_nodes(self) -> list[str]:
+        """Names of the storage (iod) nodes."""
+        return self.config.iod_node_names()
+
+    def node(self, name: str) -> Node:
+        """The Node object called ``name``."""
+        return self.nodes[name]
+
+    def client(self, node_name: str, use_cache: bool = True) -> PVFSClient:
+        """A fresh libpvfs instance (one per application process)."""
+        return PVFSClient(
+            self.nodes[node_name],
+            mgr_node=self.mgr.node.name,
+            metrics=self.metrics,
+            mgr_port=self.config.MGR_PORT,
+            iod_port=self.config.IOD_PORT,
+            use_cache=use_cache,
+        )
+
+    def run(self, until: _t.Any = None) -> _t.Any:
+        """Convenience passthrough to ``env.run``."""
+        return self.env.run(until=until)
+
+    def drain_caches(self) -> _t.Generator:
+        """Process body: flush every node's dirty blocks (tests)."""
+        for module in self.cache_modules.values():
+            yield from module.flusher.drain()

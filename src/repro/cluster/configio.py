@@ -1,0 +1,79 @@
+"""Load/save cluster configurations as JSON.
+
+Experiment setups become shareable artifacts::
+
+    {
+      "compute_nodes": 4,
+      "iod_nodes": 4,
+      "caching": true,
+      "cache": {"size_bytes": 1228800, "replacement": "clock"},
+      "costs": {"fabric": "switch", "bandwidth_bps": 100e6}
+    }
+
+Unknown keys are rejected (catching typos like ``chache``), and values
+pass through the dataclasses' own validation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+
+from repro.cluster.config import CacheConfig, ClusterConfig, CostModel
+
+
+def _build(cls: type, data: dict, context: str) -> _t.Any:
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ValueError(
+            f"unknown {context} keys: {sorted(unknown)}; "
+            f"valid keys: {sorted(field_names)}"
+        )
+    return cls(**data)
+
+
+def config_from_dict(data: dict) -> ClusterConfig:
+    """Build a validated :class:`ClusterConfig` from plain data."""
+    if not isinstance(data, dict):
+        raise ValueError(f"config must be an object, got {type(data).__name__}")
+    payload = dict(data)
+    cache_data = payload.pop("cache", None)
+    costs_data = payload.pop("costs", None)
+    kwargs: dict[str, _t.Any] = dict(payload)
+    if cache_data is not None:
+        kwargs["cache"] = _build(CacheConfig, cache_data, "cache")
+    if costs_data is not None:
+        kwargs["costs"] = _build(CostModel, costs_data, "costs")
+    return _build(ClusterConfig, kwargs, "cluster")
+
+
+def config_to_dict(config: ClusterConfig) -> dict:
+    """Serialise a :class:`ClusterConfig` to plain JSON-able data."""
+    return dataclasses.asdict(config)
+
+
+def load_config(fp: _t.TextIO) -> ClusterConfig:
+    """Parse a JSON config file."""
+    return config_from_dict(json.load(fp))
+
+
+def loads_config(text: str) -> ClusterConfig:
+    """Parse a JSON config string."""
+    return config_from_dict(json.loads(text))
+
+
+def dump_config(config: ClusterConfig, fp: _t.TextIO) -> None:
+    """Write a config as pretty-printed JSON."""
+    json.dump(config_to_dict(config), fp, indent=2, sort_keys=True)
+    fp.write("\n")
+
+
+def dumps_config(config: ClusterConfig) -> str:
+    """The config as a pretty-printed JSON string."""
+    import io
+
+    buf = io.StringIO()
+    dump_config(config, buf)
+    return buf.getvalue()

@@ -1,0 +1,24 @@
+"""Storage substrate: the per-iod disk, local file store, and the
+iod node's OS page cache.
+
+The paper's iod daemons store stripe data in files on a local ext2
+filesystem (20 GB Maxtor IDE disks, circa 2002).  Three pieces model
+that stack:
+
+* :class:`~repro.disk.model.DiskModel` — mechanical timing: seek +
+  rotational latency for non-sequential accesses, media transfer rate,
+  FIFO queueing of concurrent requests.
+* :class:`~repro.disk.filesystem.LocalFileStore` — the data authority:
+  an in-memory block store holding the actual bytes, so end-to-end
+  read-your-writes correctness is testable through every cache path.
+* :class:`~repro.disk.pagecache.PageCache` — the iod node's OS page
+  cache.  Even the *no-caching* PVFS baseline benefits from it (reads
+  that hit server memory skip the disk), which is essential to
+  reproduce the paper's network-bound baseline curves.
+"""
+
+from repro.disk.filesystem import LocalFileStore
+from repro.disk.model import DiskModel
+from repro.disk.pagecache import PageCache
+
+__all__ = ["DiskModel", "LocalFileStore", "PageCache"]

@@ -1,0 +1,105 @@
+"""The iod's local block store: the data authority of the simulation.
+
+Purely functional (no simulated time): timing is charged by
+:class:`~repro.disk.model.DiskModel`; this class answers *what bytes
+live where* so correctness is checkable end to end.
+
+Blocks are fixed-size (the PVFS stripe fragments are addressed here in
+cache-block units, 4 KB by default, matching the paper).  A block that
+was never written reads back as zeros, like a sparse file.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+BLOCK_SIZE = 4096
+
+
+class LocalFileStore:
+    """Block-addressed storage for one iod."""
+
+    def __init__(self, block_size: int = BLOCK_SIZE) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block size must be positive, got {block_size}")
+        self.block_size = block_size
+        self._blocks: dict[tuple[int, int], bytes] = {}
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def write_block(self, file_id: int, block_no: int, data: bytes | None) -> None:
+        """Store one block.
+
+        ``data=None`` marks a size-only write (performance workloads
+        that do not carry payloads); it still allocates the block so
+        existence checks behave identically.
+        """
+        if data is not None:
+            if len(data) > self.block_size:
+                raise ValueError(
+                    f"block payload of {len(data)} exceeds block size "
+                    f"{self.block_size}"
+                )
+            if len(data) < self.block_size:
+                data = data + b"\x00" * (self.block_size - len(data))
+        self._blocks[(file_id, block_no)] = (
+            data if data is not None else b""
+        )
+
+    def read_block(self, file_id: int, block_no: int) -> bytes:
+        """Fetch one block; unwritten blocks read as zeros."""
+        data = self._blocks.get((file_id, block_no))
+        if data is None or data == b"":
+            return b"\x00" * self.block_size
+        return data
+
+    def has_block(self, file_id: int, block_no: int) -> bool:
+        """True if the block was ever written."""
+        return (file_id, block_no) in self._blocks
+
+    def blocks_of(self, file_id: int) -> list[int]:
+        """Sorted block numbers present for ``file_id``."""
+        return sorted(b for (f, b) in self._blocks if f == file_id)
+
+    def delete_file(self, file_id: int) -> int:
+        """Drop all blocks of ``file_id``; returns how many were dropped."""
+        victims = [k for k in self._blocks if k[0] == file_id]
+        for key in victims:
+            del self._blocks[key]
+        return len(victims)
+
+
+def blocks_spanned(
+    offset: int, nbytes: int, block_size: int = BLOCK_SIZE
+) -> range:
+    """Block numbers touched by a byte range ``[offset, offset+nbytes)``."""
+    if offset < 0 or nbytes < 0:
+        raise ValueError(f"invalid range offset={offset} nbytes={nbytes}")
+    if nbytes == 0:
+        return range(0)
+    first = offset // block_size
+    last = (offset + nbytes - 1) // block_size
+    return range(first, last + 1)
+
+
+def slice_for_block(
+    offset: int,
+    nbytes: int,
+    block_no: int,
+    block_size: int = BLOCK_SIZE,
+) -> tuple[int, int]:
+    """Overlap of ``[offset, offset+nbytes)`` with ``block_no``.
+
+    Returns ``(start_within_block, length)``; length may be zero when
+    the request does not touch the block.
+    """
+    block_start = block_no * block_size
+    lo = max(offset, block_start)
+    hi = min(offset + nbytes, block_start + block_size)
+    if hi <= lo:
+        return (0, 0)
+    return (lo - block_start, hi - lo)

@@ -1,0 +1,82 @@
+"""Mechanical disk timing model."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim import Environment, Resource
+
+
+class DiskModel:
+    """A single spindle with FIFO request service.
+
+    Timing follows the classic decomposition: a request pays seek +
+    rotational latency unless it is *sequential* (starts exactly where
+    the previous request on the same file ended), plus media transfer
+    time proportional to its size.  Defaults approximate a 2002-era
+    5400 RPM IDE disk (Maxtor, as in the paper's testbed).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        avg_seek_s: float = 8.5e-3,
+        half_rotation_s: float = 5.6e-3,
+        transfer_bytes_per_s: float = 20e6,
+    ) -> None:
+        if transfer_bytes_per_s <= 0:
+            raise ValueError("transfer rate must be positive")
+        self.env = env
+        self.avg_seek_s = float(avg_seek_s)
+        self.half_rotation_s = float(half_rotation_s)
+        self.transfer_bytes_per_s = float(transfer_bytes_per_s)
+        self._spindle = Resource(env, capacity=1)
+        #: (file_id -> end offset of the last access) for sequential
+        #: run detection.
+        self._head_pos: dict[int, int] = {}
+        self._last_file: int | None = None
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.seeks = 0
+
+    def is_sequential(self, file_id: int, offset: int) -> bool:
+        """Would an access at ``offset`` continue the previous one?"""
+        return (
+            self._last_file == file_id
+            and self._head_pos.get(file_id) == offset
+        )
+
+    def access_time(self, nbytes: int, sequential: bool) -> float:
+        """Service time for one request, excluding queueing."""
+        positioning = 0.0 if sequential else (
+            self.avg_seek_s + self.half_rotation_s
+        )
+        return positioning + nbytes / self.transfer_bytes_per_s
+
+    def io(
+        self, file_id: int, offset: int, nbytes: int, write: bool
+    ) -> _t.Generator:
+        """Process body: perform one disk request (queue + service)."""
+        if nbytes < 0:
+            raise ValueError(f"negative I/O size {nbytes}")
+        with self._spindle.request() as req:
+            yield req
+            sequential = self.is_sequential(file_id, offset)
+            if not sequential:
+                self.seeks += 1
+            yield self.env.timeout(self.access_time(nbytes, sequential))
+            self._head_pos[file_id] = offset + nbytes
+            self._last_file = file_id
+        if write:
+            self.writes += 1
+            self.bytes_written += nbytes
+        else:
+            self.reads += 1
+            self.bytes_read += nbytes
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for the spindle."""
+        return self._spindle.queue_length

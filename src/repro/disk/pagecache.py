@@ -1,0 +1,66 @@
+"""The iod node's OS page cache (timing-only LRU).
+
+The paper's iods issue plain filesystem calls, so Linux's page cache
+sits under them.  This is why the *no-caching* PVFS baseline is
+network-bound (not disk-bound) once a file's working set has been read
+once — a property several of the paper's figures depend on.
+
+This cache tracks only *which* blocks are memory-resident; the bytes
+themselves live in :class:`~repro.disk.filesystem.LocalFileStore`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class PageCache:
+    """Exact-LRU set of ``(file_id, block_no)`` keys."""
+
+    def __init__(self, capacity_blocks: int = 16384) -> None:
+        if capacity_blocks < 0:
+            raise ValueError(f"negative capacity {capacity_blocks}")
+        self.capacity_blocks = capacity_blocks
+        self._lru: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def lookup(self, file_id: int, block_no: int) -> bool:
+        """Check residency and update recency; counts hit/miss."""
+        key = (file_id, block_no)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, file_id: int, block_no: int) -> None:
+        """Make a block resident, evicting the LRU block if full."""
+        if self.capacity_blocks == 0:
+            return
+        key = (file_id, block_no)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            return
+        while len(self._lru) >= self.capacity_blocks:
+            self._lru.popitem(last=False)
+        self._lru[key] = None
+
+    def contains(self, file_id: int, block_no: int) -> bool:
+        """Residency probe without recency update or counters."""
+        return (file_id, block_no) in self._lru
+
+    def invalidate(self, file_id: int, block_no: int) -> bool:
+        """Drop a block (e.g. on file deletion); True if it was present."""
+        sentinel = object()
+        return self._lru.pop((file_id, block_no), sentinel) is not sentinel
+
+    @property
+    def hit_ratio(self) -> float:
+        """hits / (hits + misses), 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

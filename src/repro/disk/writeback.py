@@ -1,0 +1,92 @@
+"""Asynchronous disk writeback (the iod node's pdflush).
+
+PVFS iods write stripe data with ordinary ``write()`` calls: the bytes
+land in the OS page cache and are acknowledged immediately; a kernel
+writeback thread pushes them to the platter later.  Modelling this is
+essential for the baseline's write latencies (network-bound, not
+disk-bound) and for the flusher's effectiveness.
+
+Backpressure: Linux throttles writers once dirty memory exceeds a
+threshold; we do the same with ``max_dirty_bytes`` — enqueueing blocks
+when the backlog is too large, which is how sustained writes degrade
+to disk speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.disk.model import DiskModel
+from repro.sim import Environment, Process, Store
+
+
+@dataclasses.dataclass
+class WritebackItem:
+    file_id: int
+    local_offset: int
+    nbytes: int
+
+
+class WritebackDaemon:
+    """FIFO background writer over one disk."""
+
+    def __init__(
+        self,
+        env: Environment,
+        disk: DiskModel,
+        max_dirty_bytes: int = 16 * 2**20,
+    ) -> None:
+        if max_dirty_bytes <= 0:
+            raise ValueError("max_dirty_bytes must be positive")
+        self.env = env
+        self.disk = disk
+        self.max_dirty_bytes = max_dirty_bytes
+        self._queue: Store = Store(env)
+        self.dirty_bytes = 0
+        #: Fires (and is replaced) whenever dirty_bytes drops; writers
+        #: blocked on the throttle wait on it.
+        self._drained = env.event()
+        self._proc: Process | None = None
+        self.items_written = 0
+        self.bytes_written = 0
+        self.throttle_waits = 0
+
+    def start(self) -> None:
+        """Spawn the background writer (idempotent)."""
+        if self._proc is None:
+            self._proc = self.env.process(self._loop(), name="writeback")
+
+    def submit(self, item: WritebackItem) -> _t.Generator:
+        """Process body: enqueue a write, blocking on dirty throttle."""
+        if item.nbytes < 0:
+            raise ValueError(f"negative writeback size {item.nbytes}")
+        while self.dirty_bytes + item.nbytes > self.max_dirty_bytes:
+            self.throttle_waits += 1
+            yield self._drained
+        self.dirty_bytes += item.nbytes
+        yield self._queue.put(item)
+
+    def _loop(self) -> _t.Generator:
+        while True:
+            item: WritebackItem = yield self._queue.get()
+            yield self.env.process(
+                self.disk.io(
+                    item.file_id, item.local_offset, item.nbytes, write=True
+                )
+            )
+            self.dirty_bytes -= item.nbytes
+            self.items_written += 1
+            self.bytes_written += item.nbytes
+            drained, self._drained = self._drained, self.env.event()
+            if not drained.triggered:
+                drained.succeed()
+
+    @property
+    def backlog(self) -> int:
+        """Queued writeback items."""
+        return len(self._queue)
+
+    def idle(self) -> bool:
+        """True when nothing is queued or dirty."""
+        return self.backlog == 0 and self.dirty_bytes == 0

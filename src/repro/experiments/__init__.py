@@ -1,0 +1,28 @@
+"""Per-figure experiment harnesses (paper Section 4).
+
+Each ``fig*.py`` module regenerates one figure of the paper's
+evaluation as structured series data; :mod:`repro.experiments.report`
+renders them as text tables.  Run everything with::
+
+    python -m repro.experiments           # full sweeps
+    python -m repro.experiments --quick   # reduced sweeps (~1 min)
+"""
+
+from repro.experiments.common import ExperimentResult, Series, SeriesPoint
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig67 import run_fig6, run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.overhead import run_overhead
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "SeriesPoint",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_overhead",
+]

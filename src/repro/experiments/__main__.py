@@ -1,0 +1,3 @@
+from repro.experiments.report import main
+
+raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Shared result containers and sweep helpers for the experiments."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass
+class SeriesPoint:
+    """One (x, y) measurement with optional auxiliary values."""
+
+    x: float
+    y: float
+    extra: dict[str, float] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class Series:
+    """One labelled curve of a figure."""
+
+    label: str
+    points: list[SeriesPoint] = dataclasses.field(default_factory=list)
+
+    def add(self, x: float, y: float, **extra: float) -> None:
+        """Append an (x, y) point with optional extras."""
+        self.points.append(SeriesPoint(x=x, y=y, extra=dict(extra)))
+
+    def y_at(self, x: float) -> float:
+        """The y value at ``x`` (KeyError if absent)."""
+        for point in self.points:
+            if point.x == x:
+                return point.y
+        raise KeyError(f"no point at x={x} in series {self.label!r}")
+
+    @property
+    def xs(self) -> list[float]:
+        """All x values in insertion order."""
+        return [p.x for p in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        """All y values in insertion order."""
+        return [p.y for p in self.points]
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """A reproduced figure: several series over a common x-axis."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = dataclasses.field(default_factory=list)
+    notes: str = ""
+
+    def get(self, label: str) -> Series:
+        """The series labelled ``label`` (KeyError if absent)."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"no series {label!r}; have {[s.label for s in self.series]}"
+        )
+
+    def new_series(self, label: str) -> Series:
+        """Create, register and return a series."""
+        s = Series(label=label)
+        self.series.append(s)
+        return s
+
+    def to_table(self) -> str:
+        """Render as an aligned text table, one row per x value."""
+        xs: list[float] = []
+        for s in self.series:
+            for x in s.xs:
+                if x not in xs:
+                    xs.append(x)
+        xs.sort()
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows: list[list[str]] = []
+        for x in xs:
+            row = [_fmt_x(x)]
+            for s in self.series:
+                try:
+                    row.append(f"{s.y_at(x):.6f}")
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"   (y = {self.y_label})",
+            "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        ]
+        for row in rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"   note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt_x(x: float) -> str:
+    if x == int(x):
+        return str(int(x))
+    return f"{x:g}"
+
+
+#: The paper sweeps request sizes 1 KB .. 1 MB (x axes of Figs 4-8).
+FULL_SIZES = [1024, 4096, 16384, 65536, 262144, 1048576]
+QUICK_SIZES = [4096, 65536, 262144]
+
+
+def sweep_sizes(quick: bool) -> list[int]:
+    """The request-size sweep (quick or full)."""
+    return QUICK_SIZES if quick else FULL_SIZES

@@ -1,0 +1,106 @@
+"""Figure 8: can caching compensate for any loss in parallelism?
+
+Two applications that share data must be scheduled on a 6-node
+cluster.  Three options:
+
+* **Caching, co-located** — both instances time-share nodes 0-2 with
+  the cache module loaded (3 nodes used in all);
+* **No caching, different nodes** — instance 0 on nodes 0-2, instance
+  1 on nodes 3-5 (6 nodes used: maximum parallelism);
+* **No caching, same nodes** — both instances on nodes 0-2 (expected
+  worst case).
+
+Paper's findings to reproduce:
+* at l = 0 the parallelism benefit of spreading out beats
+  inter-application caching;
+* with higher l the caching effects offset the parallelism loss, and
+  at l = 1 "caching benefits offset any loss of parallelism" — the
+  scheduling-relevant crossover;
+* co-locating *without* caching is always worst;
+* higher sharing favours the caching option further.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.config import ClusterConfig
+from repro.experiments.common import ExperimentResult, sweep_sizes
+from repro.workload import MicroBenchParams, run_instances
+
+SHARING_LEVELS = (0.25, 0.50, 0.75, 1.00)
+LOCALITY_PANELS = ((0.0, "a"), (0.5, "b"), (1.0, "c"))
+
+
+def _run_variant(
+    variant: str,
+    d: int,
+    locality: float,
+    sharing: float,
+    total_bytes: int,
+) -> float:
+    config = ClusterConfig(
+        compute_nodes=6,
+        iod_nodes=6,
+        caching=(variant == "cache-colocated"),
+    )
+    iterations = max(1, total_bytes // d)
+    if variant == "nocache-spread":
+        node_sets = [["node0", "node1", "node2"], ["node3", "node4", "node5"]]
+    else:
+        node_sets = [["node0", "node1", "node2"]] * 2
+    instances = [
+        MicroBenchParams(
+            nodes=node_sets[i],
+            request_size=d,
+            iterations=iterations,
+            mode="read",
+            locality=locality,
+            sharing=sharing,
+            instance=i,
+            partition_bytes=4 * 2**20,
+            warmup=True,
+            seed=42,
+        )
+        for i in range(2)
+    ]
+    out = run_instances(config, instances)
+    return out.makespan
+
+
+def run_fig8(
+    quick: bool = False, total_bytes: int = 2 * 2**20
+) -> list[ExperimentResult]:
+    """Returns [fig8a, fig8b, fig8c] for l = 0 / 0.5 / 1.0."""
+    sizes = sweep_sizes(quick)
+    sharings = (0.25, 1.00) if quick else SHARING_LEVELS
+    results = []
+    for locality, panel in LOCALITY_PANELS:
+        result = ExperimentResult(
+            experiment_id=f"fig8{panel}",
+            title=(
+                f"Caching vs parallelism, two instances, l={locality} "
+                "(3 shared nodes vs 6 disjoint nodes)"
+            ),
+            x_label="block size (bytes)",
+            y_label="total time (seconds)",
+        )
+        cache_series = {
+            s: result.new_series(f"Caching({int(s * 100)}% sharing)")
+            for s in sharings
+        }
+        spread = result.new_series("No Caching (2 apps on diff. nodes)")
+        coloc = result.new_series("No Caching (2 apps on same nodes)")
+        for d in sizes:
+            for s in sharings:
+                cache_series[s].add(
+                    d,
+                    _run_variant("cache-colocated", d, locality, s, total_bytes),
+                )
+            spread.add(
+                d, _run_variant("nocache-spread", d, locality, 0.5, total_bytes)
+            )
+            coloc.add(
+                d,
+                _run_variant("nocache-colocated", d, locality, 0.5, total_bytes),
+            )
+        results.append(result)
+    return results

@@ -1,0 +1,116 @@
+"""Terminal (ASCII) charts for experiment results.
+
+The repository runs in offline environments without matplotlib, so
+figures are rendered as Unicode scatter/line charts directly in the
+terminal — enough to eyeball the shapes the paper's figures show
+(who wins, where curves cross).
+
+Usage::
+
+    from repro.experiments import run_fig5
+    from repro.experiments.plots import render_chart
+
+    fig5a, _ = run_fig5(quick=True)
+    print(render_chart(fig5a, log_x=True))
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.experiments.common import ExperimentResult, Series
+
+#: Distinct glyphs assigned to series in order.
+GLYPHS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError(f"log scale needs positive values, got {value}")
+        return math.log10(value)
+    return value
+
+
+def render_chart(
+    result: ExperimentResult,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = False,
+) -> str:
+    """Render every series of ``result`` into one character grid."""
+    series = [s for s in result.series if s.points]
+    if not series:
+        return f"== {result.experiment_id}: {result.title} ==\n(no data)"
+    xs = [_transform(p.x, log_x) for s in series for p in s.points]
+    ys = [_transform(p.y, log_y) for s in series for p in s.points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        for p in s.points:
+            cx = int((_transform(p.x, log_x) - x_lo) / x_span * (width - 1))
+            cy = int((_transform(p.y, log_y) - y_lo) / y_span * (height - 1))
+            row = height - 1 - cy
+            cell = grid[row][cx]
+            # Collisions render as '?' so overlaps are visible.
+            grid[row][cx] = glyph if cell in (" ", glyph) else "?"
+
+    y_hi_real = max(p.y for s in series for p in s.points)
+    y_lo_real = min(p.y for s in series for p in s.points)
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.append(f"{y_hi_real:11.4g} ┐")
+    for row in grid:
+        lines.append(" " * 11 + " │" + "".join(row))
+    lines.append(f"{y_lo_real:11.4g} ┘" + "─" * width)
+    x_lo_real = min(p.x for s in series for p in s.points)
+    x_hi_real = max(p.x for s in series for p in s.points)
+    axis = f"{x_lo_real:g}"
+    pad = max(1, width - len(axis) - len(f"{x_hi_real:g}"))
+    lines.append(
+        " " * 13 + axis + " " * pad + f"{x_hi_real:g}"
+        + ("   (log x)" if log_x else "")
+    )
+    lines.append("   legend: " + "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={s.label}" for i, s in enumerate(series)
+    ))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels_values: _t.Sequence[tuple[str, float]],
+    title: str = "",
+    width: int = 48,
+    unit: str = "s",
+) -> str:
+    """Horizontal bar chart for categorical comparisons (e.g. the
+    Figure 8 placement variants at one x)."""
+    if not labels_values:
+        return f"== {title} ==\n(no data)"
+    peak = max(v for _, v in labels_values) or 1.0
+    label_width = max(len(label) for label, _ in labels_values)
+    lines = [f"== {title} =="] if title else []
+    for label, value in labels_values:
+        bar = "█" * max(1, int(value / peak * width))
+        lines.append(
+            f"  {label.rjust(label_width)} {bar} {value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: _t.Sequence[float]) -> str:
+    """One-line trend of a series (e.g. latency over the sweep)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values
+    )

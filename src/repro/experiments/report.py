@@ -1,0 +1,122 @@
+"""Render every reproduced figure as a text table.
+
+Usage::
+
+    python -m repro.experiments [--quick] [--only fig4,fig8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import typing as _t
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig67 import run_fig6, run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.overhead import run_overhead
+from repro.experiments.sensitivity import (
+    run_block_size_sweep,
+    run_cache_size_sweep,
+    run_multiprogramming_sweep,
+)
+
+RUNNERS: dict[str, _t.Callable[[bool], list[ExperimentResult]]] = {
+    "overhead": lambda quick: [run_overhead()],
+    "fig4": lambda quick: list(run_fig4(quick)),
+    "fig5": lambda quick: list(run_fig5(quick)),
+    "fig6": lambda quick: run_fig6(quick),
+    "fig7": lambda quick: run_fig7(quick),
+    "fig8": lambda quick: run_fig8(quick),
+    "sensitivity": lambda quick: [
+        run_cache_size_sweep(
+            (600, 1200, 2400) if quick else (300, 600, 1200, 2400, 4800)
+        ),
+        run_multiprogramming_sweep((1, 2) if quick else (1, 2, 3)),
+        run_block_size_sweep(),
+    ],
+    "extensions": lambda quick: _run_extensions(quick),
+}
+
+
+def _run_extensions(quick: bool) -> "list[ExperimentResult]":
+    from repro.experiments.extensions import (
+        run_coherence_sweep,
+        run_global_cache_experiment,
+        run_readahead_experiment,
+        run_straggler_experiment,
+    )
+
+    return [
+        run_coherence_sweep((0.0, 0.5, 1.0) if quick else (0.0, 0.25, 0.5, 0.75, 1.0)),
+        run_global_cache_experiment((0, 16384) if quick else (0, 64, 16384)),
+        run_readahead_experiment((0.0, 2e-3) if quick else (0.0, 1e-3, 2e-3, 4e-3)),
+        run_straggler_experiment((1.0, 8.0) if quick else (1.0, 4.0, 16.0)),
+    ]
+
+#: The paper's own figures (sensitivity sweeps are our extension and
+#: are only run when asked for explicitly).
+DEFAULT_SET = ["overhead", "fig4", "fig5", "fig6", "fig7", "fig8"]
+
+
+def run_all(
+    quick: bool = False,
+    only: _t.Sequence[str] | None = None,
+    stream: _t.TextIO = sys.stdout,
+    charts: bool = False,
+) -> list[ExperimentResult]:
+    """Run the chosen experiments, printing each table."""
+    chosen = list(only) if only else list(DEFAULT_SET)
+    unknown = [name for name in chosen if name not in RUNNERS]
+    if unknown:
+        raise SystemExit(f"unknown experiments: {unknown}; have {list(RUNNERS)}")
+    all_results: list[ExperimentResult] = []
+    for name in chosen:
+        t0 = time.time()
+        results = RUNNERS[name](quick)
+        elapsed = time.time() - t0
+        for result in results:
+            print(result.to_table(), file=stream)
+            print("", file=stream)
+            if charts:
+                from repro.experiments.plots import render_chart
+
+                print(render_chart(result), file=stream)
+                print("", file=stream)
+        print(f"[{name}: {elapsed:.1f}s]", file=stream)
+        print("", file=stream)
+        all_results.extend(results)
+    return all_results
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures as text tables.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sweeps (~1-2 min)"
+    )
+    parser.add_argument(
+        "--only",
+        type=str,
+        default=None,
+        help=f"comma-separated subset of {list(RUNNERS)}",
+    )
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="also render each figure as a terminal chart",
+    )
+    args = parser.parse_args(argv)
+    only = args.only.split(",") if args.only else None
+    run_all(quick=args.quick, only=only, charts=args.charts)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+"""Sensitivity analysis: how the caching benefit scales with the knobs
+the paper fixes.
+
+The paper pins the cache at 1.2 MB "to better evaluate the continuing
+trend of large increases in dataset sizes" — i.e. the cache is tiny
+relative to the working set on purpose.  These sweeps answer the
+follow-up questions a reader naturally asks:
+
+* ``run_cache_size_sweep`` — benefit vs per-node cache size (l=0.5
+  two-instance workload): diminishing returns once the shared working
+  set fits.
+* ``run_multiprogramming_sweep`` — benefit vs degree of
+  multiprogramming (instances per node), extending Section 4.2.3's
+  two-instance setup.
+* ``run_block_size_sweep`` — 4 KB block size (page-size match) vs
+  alternatives.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.config import CacheConfig, ClusterConfig
+from repro.experiments.common import ExperimentResult
+from repro.workload import MicroBenchParams, run_instances
+
+
+def _two_instance_makespan(
+    cache: CacheConfig | None,
+    caching: bool,
+    p: int = 2,
+    d: int = 65536,
+    total_bytes: int = 2 * 2**20,
+    locality: float = 0.5,
+    sharing: float = 0.5,
+    n_instances: int = 2,
+) -> float:
+    kwargs = {"cache": cache} if cache is not None else {}
+    config = ClusterConfig(
+        compute_nodes=p, iod_nodes=p, caching=caching, **kwargs
+    )
+    instances = [
+        MicroBenchParams(
+            nodes=config.compute_node_names(),
+            request_size=d,
+            iterations=max(1, total_bytes // d),
+            mode="read",
+            locality=locality,
+            sharing=sharing,
+            instance=i,
+            partition_bytes=4 * 2**20,
+            warmup=True,
+            seed=42,
+        )
+        for i in range(n_instances)
+    ]
+    return run_instances(config, instances).makespan
+
+
+def run_cache_size_sweep(
+    sizes_kb: tuple[int, ...] = (300, 600, 1200, 2400, 4800),
+) -> ExperimentResult:
+    """Two-instance speedup over no-caching vs per-node cache size."""
+    result = ExperimentResult(
+        experiment_id="sens-cache-size",
+        title="Speedup over no-caching vs per-node cache size "
+        "(p=2, l=0.5, s=0.5)",
+        x_label="cache size (KB)",
+        y_label="speedup (x)",
+    )
+    series = result.new_series("speedup")
+    baseline = _two_instance_makespan(None, caching=False)
+    for size_kb in sizes_kb:
+        cache = CacheConfig(size_bytes=size_kb * 1024)
+        t = _two_instance_makespan(cache, caching=True)
+        series.add(size_kb, baseline / t, seconds=t)
+    result.notes = f"no-caching baseline: {baseline:.4f}s"
+    return result
+
+
+def run_multiprogramming_sweep(
+    degrees: tuple[int, ...] = (1, 2, 3),
+) -> ExperimentResult:
+    """Speedup vs number of co-scheduled instances per node set."""
+    result = ExperimentResult(
+        experiment_id="sens-multiprogramming",
+        title="Speedup over no-caching vs degree of multiprogramming "
+        "(p=2, l=0.5, s=0.5)",
+        x_label="instances per node",
+        y_label="speedup (x)",
+    )
+    series = result.new_series("speedup")
+    for degree in degrees:
+        cached = _two_instance_makespan(
+            CacheConfig(), caching=True, n_instances=degree
+        )
+        plain = _two_instance_makespan(
+            None, caching=False, n_instances=degree
+        )
+        series.add(degree, plain / cached, cached_s=cached, plain_s=plain)
+    return result
+
+
+def run_block_size_sweep(
+    block_sizes: tuple[int, ...] = (1024, 4096, 16384),
+) -> ExperimentResult:
+    """Benefit vs cache block size (the paper picks the 4 KB page)."""
+    result = ExperimentResult(
+        experiment_id="sens-block-size",
+        title="Two-instance makespan vs cache block size "
+        "(p=2, l=0.5, s=0.5, cache 1.2 MB)",
+        x_label="block size (bytes)",
+        y_label="total time (seconds)",
+    )
+    series = result.new_series("caching")
+    for bs in block_sizes:
+        cache = CacheConfig(block_size=bs)
+        # stripe must stay a multiple of the block size; 64 KB is.
+        t = _two_instance_makespan(cache, caching=True)
+        series.add(bs, t)
+    return result

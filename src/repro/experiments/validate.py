@@ -1,0 +1,192 @@
+"""One-shot reproduction validator.
+
+Runs reduced versions of every figure and checks the paper's
+qualitative claims programmatically, printing a PASS/FAIL checklist.
+This is the library-level counterpart of the benchmark assertions —
+usable from scripts and CI without pytest::
+
+    python -c "from repro.experiments.validate import main; main()"
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import typing as _t
+
+from repro.cluster.config import ClusterConfig
+from repro.experiments.overhead import PAPER_BOUND_S, measure_hit_cost
+from repro.workload import MicroBenchParams, run_instances
+
+
+@dataclasses.dataclass
+class Check:
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _single(d, mode, caching, locality, p=4, iterations=16):
+    config = ClusterConfig(compute_nodes=p, iod_nodes=p, caching=caching)
+    params = MicroBenchParams(
+        nodes=config.compute_node_names(),
+        request_size=d,
+        iterations=iterations,
+        mode=mode,
+        locality=locality,
+        partition_bytes=4 * 2**20,
+        warmup=(mode == "read"),
+    )
+    out = run_instances(config, [params])
+    return (
+        out.mean_read_latency if mode == "read" else out.mean_write_latency
+    )
+
+
+def _pair(d, locality, sharing, caching, p=4, compute_nodes=None,
+          node_sets=None, total_bytes=2 * 2**20):
+    n = compute_nodes if compute_nodes else p
+    config = ClusterConfig(compute_nodes=n, iod_nodes=n, caching=caching)
+    if node_sets is None:
+        node_sets = [config.compute_node_names()[:p]] * 2
+    instances = [
+        MicroBenchParams(
+            nodes=node_sets[i],
+            request_size=d,
+            iterations=max(1, total_bytes // d),
+            mode="read",
+            locality=locality,
+            sharing=sharing,
+            instance=i,
+            partition_bytes=4 * 2**20,
+            warmup=True,
+            seed=42,
+        )
+        for i in range(2)
+    ]
+    return run_instances(config, instances).makespan
+
+
+def run_checks(d: int = 65536) -> list[Check]:
+    """Execute the full claim checklist at one request size."""
+    checks: list[Check] = []
+
+    def check(claim: str, passed: bool, detail: str) -> None:
+        checks.append(Check(claim=claim, passed=passed, detail=detail))
+
+    # inline overhead claim
+    per_block = measure_hit_cost(16).per_block_s
+    check(
+        "hit service < 400 us per 4 KB block (Sec. 4.2)",
+        per_block < PAPER_BOUND_S,
+        f"{per_block * 1e6:.0f} us/block",
+    )
+
+    # fig 4: l=0
+    read_c = _single(d, "read", True, 0.0)
+    read_n = _single(d, "read", False, 0.0)
+    check(
+        "fig4a: l=0 read overhead not significant",
+        read_c < read_n * 1.5,
+        f"{read_c * 1e3:.2f} vs {read_n * 1e3:.2f} ms",
+    )
+    write_c = _single(d, "write", True, 0.0)
+    write_n = _single(d, "write", False, 0.0)
+    check(
+        "fig4b: l=0 write-behind wins",
+        write_c < write_n,
+        f"{write_c * 1e3:.2f} vs {write_n * 1e3:.2f} ms",
+    )
+
+    # fig 5: l=1
+    hot_read_c = _single(d, "read", True, 1.0)
+    check(
+        "fig5a: l=1 reads win substantially",
+        hot_read_c * 2 < read_n,
+        f"{read_n / hot_read_c:.1f}x speedup",
+    )
+    hot_write_c = _single(d, "write", True, 1.0)
+    check(
+        "fig5b: l=1 writes win",
+        hot_write_c < write_n,
+        f"{write_n / hot_write_c:.1f}x speedup",
+    )
+
+    # fig 6: two instances, sharing
+    base = _pair(d, 0.0, 0.5, False)
+    low_s = _pair(d, 0.0, 0.25, True)
+    high_s = _pair(d, 0.0, 1.0, True)
+    check(
+        "fig6a: caching beats PVFS at l=0 with sharing",
+        high_s < base,
+        f"s=100%: {high_s:.3f}s vs {base:.3f}s",
+    )
+    check(
+        "fig6a: benefit grows with sharing degree",
+        high_s < low_s,
+        f"s=25%: {low_s:.3f}s -> s=100%: {high_s:.3f}s",
+    )
+    hot_pair = _pair(d, 1.0, 0.5, True)
+    base_hot = _pair(d, 1.0, 0.5, False)
+    check(
+        "fig6c: locality amplifies the two-instance win",
+        hot_pair * 2 < base_hot,
+        f"{base_hot / hot_pair:.1f}x at l=1",
+    )
+
+    # fig 7 vs 6: scalability with p
+    p2_c = _pair(d, 1.0, 0.5, True, p=2)
+    p2_n = _pair(d, 1.0, 0.5, False, p=2)
+    check(
+        "fig7: p=4 benefits exceed p=2",
+        (base_hot / hot_pair) > (p2_n / p2_c),
+        f"p=4: {base_hot / hot_pair:.1f}x vs p=2: {p2_n / p2_c:.1f}x",
+    )
+
+    # fig 8: scheduling crossover
+    coloc = [["node0", "node1", "node2"]] * 2
+    spread = [["node0", "node1", "node2"], ["node3", "node4", "node5"]]
+    cc_l0 = _pair(d, 0.0, 0.25, True, compute_nodes=6, node_sets=coloc)
+    sp_l0 = _pair(d, 0.0, 0.25, False, compute_nodes=6, node_sets=spread)
+    check(
+        "fig8a: parallelism wins at l=0, low sharing",
+        sp_l0 < cc_l0,
+        f"spread {sp_l0:.3f}s vs coloc {cc_l0:.3f}s",
+    )
+    cc_l1 = _pair(d, 1.0, 0.5, True, compute_nodes=6, node_sets=coloc)
+    sp_l1 = _pair(d, 1.0, 0.5, False, compute_nodes=6, node_sets=spread)
+    check(
+        "fig8c: caching offsets parallelism loss at l=1",
+        cc_l1 < sp_l1,
+        f"coloc {cc_l1:.3f}s vs spread {sp_l1:.3f}s",
+    )
+    nc_coloc = _pair(d, 0.5, 0.5, False, compute_nodes=6, node_sets=coloc)
+    nc_spread = _pair(d, 0.5, 0.5, False, compute_nodes=6, node_sets=spread)
+    cc_mid = _pair(d, 0.5, 0.5, True, compute_nodes=6, node_sets=coloc)
+    check(
+        "fig8: un-cached co-location is worst",
+        nc_coloc >= max(cc_mid, nc_spread) * 0.98,
+        f"nocache-coloc {nc_coloc:.3f}s",
+    )
+    return checks
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    checks = run_checks()
+    width = max(len(c.claim) for c in checks)
+    failures = 0
+    for c in checks:
+        status = "PASS" if c.passed else "FAIL"
+        if not c.passed:
+            failures += 1
+        print(f"  [{status}] {c.claim.ljust(width)}  ({c.detail})")
+    print(
+        f"\n{len(checks) - failures}/{len(checks)} claims reproduced"
+        + ("" if failures == 0 else f" — {failures} FAILED")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Statistics collection for simulated runs."""
+
+from repro.metrics.collector import Metrics
+from repro.metrics.monitor import ResourceMonitor
+
+__all__ = ["Metrics", "ResourceMonitor"]

@@ -1,0 +1,77 @@
+"""The shared-hub medium: one collision domain at 100 Mbps."""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.sim import Environment, Resource
+
+
+class Hub:
+    """A shared Ethernet hub.
+
+    Every frame from every node serialises through one medium; a
+    transfer of ``size`` bytes is fragmented into ``frame_bytes``
+    quanta so that concurrent flows share bandwidth in FIFO-fair
+    slices instead of one flow monopolising the wire for a whole
+    multi-megabyte message.
+
+    ``base_latency_s`` models the fixed per-message cost (interrupt,
+    protocol stack, propagation) that dominates small transfers.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_bps: float = 100e6,
+        frame_bytes: int = 65536,
+        base_latency_s: float = 100e-6,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if frame_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {frame_bytes}")
+        self.env = env
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.frame_bytes = int(frame_bytes)
+        self.base_latency_s = float(base_latency_s)
+        self._medium = Resource(env, capacity=1)
+        #: Cumulative bytes that crossed the medium (metrics hook).
+        self.bytes_transferred = 0
+        self.frames_transferred = 0
+
+    def frame_time(self, nbytes: int) -> float:
+        """Wire time for one frame of ``nbytes``."""
+        return nbytes * 8.0 / self.bandwidth_bps
+
+    def transfer_time_unloaded(self, size_bytes: int) -> float:
+        """Lower-bound transfer time if no one else is using the hub."""
+        return self.base_latency_s + self.frame_time(size_bytes)
+
+    def transmit(self, size_bytes: int) -> _t.Generator:
+        """Process body: occupy the medium for ``size_bytes``.
+
+        Yields frame-by-frame so concurrent transmissions interleave.
+        Completion of this generator means the last bit has left the
+        wire; the caller then delivers the message.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size {size_bytes}")
+        remaining = size_bytes
+        # Even a zero-byte message occupies the wire for its framing.
+        nframes = max(1, math.ceil(size_bytes / self.frame_bytes))
+        for _ in range(nframes):
+            chunk = min(self.frame_bytes, remaining) if remaining else 0
+            remaining -= chunk
+            with self._medium.request() as req:
+                yield req
+                yield self.env.timeout(self.frame_time(max(chunk, 1)))
+            self.bytes_transferred += chunk
+            self.frames_transferred += 1
+        yield self.env.timeout(self.base_latency_s)
+
+    @property
+    def utilization_queue(self) -> int:
+        """Frames currently waiting for the medium (contention probe)."""
+        return self._medium.queue_length

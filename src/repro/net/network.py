@@ -1,0 +1,73 @@
+"""Network: wiring node endpoints together through a fabric."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.net.fabric import Fabric, SwitchedFabric
+from repro.net.message import Message
+from repro.sim import Environment, Process, Store
+
+
+class Network:
+    """Delivers :class:`Message` objects between named nodes.
+
+    Endpoints are ``(node, port)`` pairs, each backed by a FIFO
+    :class:`~repro.sim.resources.Store`.  Transmission occupies the
+    fabric; local (same-node) delivery bypasses the wire entirely,
+    which matters when a compute node doubles as an iod node.
+    """
+
+    def __init__(self, env: Environment, fabric: Fabric | None = None) -> None:
+        self.env = env
+        self.fabric: Fabric = (
+            fabric if fabric is not None else SwitchedFabric(env)
+        )
+        self._endpoints: dict[tuple[str, int], Store] = {}
+        self.messages_delivered = 0
+        #: Loopback messages never touch the fabric but still pay a
+        #: small local protocol cost (localhost TCP is not free).
+        self.loopback_latency_s = 20e-6
+
+    # -- endpoints ---------------------------------------------------------
+    def register(self, node: str, port: int) -> Store:
+        """Create the inbox for ``(node, port)``; idempotent."""
+        key = (node, port)
+        if key not in self._endpoints:
+            self._endpoints[key] = Store(self.env)
+        return self._endpoints[key]
+
+    def endpoint(self, node: str, port: int) -> Store:
+        """The inbox Store of ``(node, port)`` (KeyError if absent)."""
+        try:
+            return self._endpoints[(node, port)]
+        except KeyError:
+            raise KeyError(f"no endpoint registered at {node}:{port}") from None
+
+    def has_endpoint(self, node: str, port: int) -> bool:
+        """True if ``(node, port)`` is registered."""
+        return (node, port) in self._endpoints
+
+    # -- transport ---------------------------------------------------------
+    def send(self, message: Message, dst_port: int) -> Process:
+        """Asynchronously transmit ``message`` to ``(message.dst, port)``.
+
+        Returns the transmission process; yield it for a blocking send
+        (completes when the message has been enqueued at the receiver).
+        """
+        inbox = self.endpoint(message.dst, dst_port)  # fail fast
+        return self.env.process(
+            self._transmit(message, inbox),
+            name=f"xmit-{message.kind}-{message.msg_id}",
+        )
+
+    def _transmit(self, message: Message, inbox: Store) -> _t.Generator:
+        if message.src == message.dst:
+            yield self.env.timeout(self.loopback_latency_s)
+        else:
+            yield from self.fabric.transmit(
+                message.src, message.dst, message.wire_bytes
+            )
+        yield inbox.put(message)
+        self.messages_delivered += 1
+        return message

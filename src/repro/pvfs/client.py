@@ -1,0 +1,319 @@
+"""libpvfs: the client library linked into each application process.
+
+Each process owns private connections to the mgr and to every iod, so
+request/response matching is FIFO per connection (the paper's libpvfs
+does the same).  When the node carries a cache module, data calls are
+routed through it — transparently, exactly like the paper's in-kernel
+socket interception: application code is identical in both modes.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.node import Node
+from repro.metrics import Metrics
+from repro.net import Message
+from repro.pvfs import protocol
+from repro.pvfs.protocol import (
+    FileHandle,
+    OpenRequest,
+    ReadData,
+    ReadRequest,
+    WriteRequest,
+    coalesce_ranges,
+)
+from repro.pvfs.striping import StripeLayout
+
+
+class PVFSClient:
+    """One per application process."""
+
+    def __init__(
+        self,
+        node: Node,
+        mgr_node: str,
+        metrics: Metrics,
+        mgr_port: int = 3000,
+        iod_port: int = 7000,
+        use_cache: bool = True,
+        record_metrics: bool = True,
+    ) -> None:
+        self.node = node
+        self.env = node.env
+        self.mgr_node = mgr_node
+        self.metrics = metrics
+        self.mgr_port = mgr_port
+        self.iod_port = iod_port
+        #: Route through the node's cache module when present.
+        self.use_cache = use_cache
+        #: Warmup clients disable recording so steady-state latency
+        #: series are not polluted by cold passes.
+        self.record_metrics = record_metrics
+        #: Optional access-trace hook for the sharing-pattern
+        #: classifier: called as ``sink(time, process, file_id,
+        #: offset, nbytes, op)`` on every data call.
+        self.trace_sink: _t.Callable[..., None] | None = None
+        #: Identity reported to the trace sink.
+        self.process_name = f"{node.name}/pid{id(self) % 100000}"
+        self._mgr_ep = None
+        self._iod_eps: dict[str, _t.Any] = {}
+
+    def _trace(self, file_id: int, offset: int, nbytes: int, op: str) -> None:
+        if self.trace_sink is not None:
+            self.trace_sink(
+                self.env.now, self.process_name, file_id, offset, nbytes, op
+            )
+
+    # -- connections ---------------------------------------------------------
+    def _mgr_endpoint(self) -> _t.Generator:
+        if self._mgr_ep is None:
+            self._mgr_ep = yield self.env.process(
+                self.node.sockets.connect(self.mgr_node, self.mgr_port)
+            )
+        return self._mgr_ep
+
+    def _iod_endpoint(self, iod_node: str) -> _t.Generator:
+        endpoint = self._iod_eps.get(iod_node)
+        if endpoint is None:
+            endpoint = yield self.env.process(
+                self.node.sockets.connect(iod_node, self.iod_port)
+            )
+            self._iod_eps[iod_node] = endpoint
+        return endpoint
+
+    @property
+    def _cache(self):
+        return self.node.cache_module if self.use_cache else None
+
+    # -- API -------------------------------------------------------------------
+    def open(self, path: str) -> _t.Generator:
+        """Process body: open (or create) ``path``; returns FileHandle.
+
+        Metadata is never cached (paper, Section 3): every open talks
+        to the mgr.
+        """
+        yield from self.node.compute(self.node.costs.syscall_s)
+        endpoint = yield from self._mgr_endpoint()
+        yield endpoint.send(
+            Message(
+                kind=protocol.MGR_OPEN,
+                size_bytes=protocol.OPEN_REQ_BYTES,
+                payload=OpenRequest(path=path),
+            )
+        )
+        ack = yield endpoint.recv()
+        if ack.kind != protocol.MGR_OPEN_ACK:
+            raise ValueError(f"unexpected open reply {ack.kind!r}")
+        self.metrics.inc("client.opens")
+        return ack.payload
+
+    def stat(self, path: str) -> _t.Generator:
+        """Process body: metadata lookup; returns FileHandle or None."""
+        yield from self.node.compute(self.node.costs.syscall_s)
+        endpoint = yield from self._mgr_endpoint()
+        yield endpoint.send(
+            Message(
+                kind=protocol.MGR_STAT,
+                size_bytes=protocol.OPEN_REQ_BYTES,
+                payload=protocol.StatRequest(path=path),
+            )
+        )
+        ack = yield endpoint.recv()
+        if ack.kind != protocol.MGR_STAT_ACK:
+            raise ValueError(f"unexpected stat reply {ack.kind!r}")
+        return ack.payload.handle
+
+    def unlink(self, path: str) -> _t.Generator:
+        """Process body: drop the path from the namespace; returns
+        whether it existed.  (Stripe data reclamation is the iods'
+        concern; see PVFSShell.rm for the storage side.)"""
+        yield from self.node.compute(self.node.costs.syscall_s)
+        endpoint = yield from self._mgr_endpoint()
+        yield endpoint.send(
+            Message(
+                kind=protocol.MGR_UNLINK,
+                size_bytes=protocol.OPEN_REQ_BYTES,
+                payload=protocol.UnlinkRequest(path=path),
+            )
+        )
+        ack = yield endpoint.recv()
+        if ack.kind != protocol.MGR_UNLINK_ACK:
+            raise ValueError(f"unexpected unlink reply {ack.kind!r}")
+        return ack.payload.existed
+
+    def listdir(self) -> _t.Generator:
+        """Process body: every path in the namespace."""
+        yield from self.node.compute(self.node.costs.syscall_s)
+        endpoint = yield from self._mgr_endpoint()
+        yield endpoint.send(
+            Message(
+                kind=protocol.MGR_LIST,
+                size_bytes=protocol.OPEN_REQ_BYTES,
+                payload=None,
+            )
+        )
+        ack = yield endpoint.recv()
+        if ack.kind != protocol.MGR_LIST_ACK:
+            raise ValueError(f"unexpected list reply {ack.kind!r}")
+        return ack.payload.paths
+
+    def read(
+        self,
+        handle: FileHandle,
+        offset: int,
+        nbytes: int,
+        want_data: bool = False,
+    ) -> _t.Generator:
+        """Process body: read; returns bytes when ``want_data``.
+
+        Routed through the cache module when the node has one.
+        """
+        cache = self._cache
+        start = self.env.now
+        self._trace(handle.file_id, offset, nbytes, "read")
+        yield from self.node.compute(self.node.costs.syscall_s)
+        if cache is not None:
+            result = yield from cache.read(handle, offset, nbytes, want_data)
+        else:
+            result = yield from self._raw_read(handle, offset, nbytes, want_data)
+        if self.record_metrics:
+            self.metrics.record("client.read_latency", self.env.now - start)
+            self.metrics.inc("client.reads")
+            self.metrics.inc("client.read_bytes", nbytes)
+        return result
+
+    def write(
+        self,
+        handle: FileHandle,
+        offset: int,
+        nbytes: int,
+        data: bytes | None = None,
+    ) -> _t.Generator:
+        """Process body: buffered write (default, non-coherent path)."""
+        if data is not None and len(data) != nbytes:
+            raise ValueError(f"data length {len(data)} != nbytes {nbytes}")
+        cache = self._cache
+        start = self.env.now
+        self._trace(handle.file_id, offset, nbytes, "write")
+        yield from self.node.compute(self.node.costs.syscall_s)
+        if cache is not None:
+            yield from cache.write(handle, offset, nbytes, data)
+        else:
+            yield from self._raw_write(handle, offset, nbytes, data, sync=False)
+        if self.record_metrics:
+            self.metrics.record("client.write_latency", self.env.now - start)
+            self.metrics.inc("client.writes")
+            self.metrics.inc("client.write_bytes", nbytes)
+
+    def sync_write(
+        self,
+        handle: FileHandle,
+        offset: int,
+        nbytes: int,
+        data: bytes | None = None,
+    ) -> _t.Generator:
+        """Process body: coherent write — propagates to the iod and
+        invalidates every remote cache holding a written block."""
+        if data is not None and len(data) != nbytes:
+            raise ValueError(f"data length {len(data)} != nbytes {nbytes}")
+        cache = self._cache
+        start = self.env.now
+        self._trace(handle.file_id, offset, nbytes, "write")
+        yield from self.node.compute(self.node.costs.syscall_s)
+        if cache is not None:
+            yield from cache.sync_write(handle, offset, nbytes, data)
+        else:
+            yield from self._raw_write(handle, offset, nbytes, data, sync=True)
+        if self.record_metrics:
+            self.metrics.record("client.sync_write_latency", self.env.now - start)
+            self.metrics.inc("client.sync_writes")
+
+    # -- raw (no-cache) protocol -------------------------------------------------
+    def _layout(self, handle: FileHandle) -> StripeLayout:
+        return StripeLayout(handle.n_iods, handle.stripe_size)
+
+    def _raw_read(
+        self,
+        handle: FileHandle,
+        offset: int,
+        nbytes: int,
+        want_data: bool,
+    ) -> _t.Generator:
+        layout = self._layout(handle)
+        per_iod = layout.split(offset, nbytes)
+        # Phase 1: issue every request before waiting on any response
+        # (libpvfs aggregates per iod, then blasts all requests out).
+        endpoints: list[tuple[_t.Any, list[protocol.Range]]] = []
+        for idx, ranges in sorted(per_iod.items()):
+            ranges = coalesce_ranges(ranges)
+            endpoint = yield from self._iod_endpoint(handle.iod_nodes[idx])
+            req = ReadRequest(
+                file_id=handle.file_id,
+                ranges=ranges,
+                want_data=want_data,
+                requester_node=self.node.name,
+            )
+            yield from self.node.compute(self.node.costs.syscall_s)
+            endpoint.send(
+                Message(
+                    kind=protocol.IOD_READ,
+                    size_bytes=req.wire_size(),
+                    payload=req,
+                )
+            )
+            endpoints.append((endpoint, ranges))
+        # Phase 2: collect ack + data per iod (private conn => FIFO).
+        buf = bytearray(nbytes) if want_data else None
+        for endpoint, _ranges in endpoints:
+            ack = yield endpoint.recv()
+            if ack.kind != protocol.IOD_READ_ACK:
+                raise ValueError(f"expected read ack, got {ack.kind!r}")
+            data_msg = yield endpoint.recv()
+            if data_msg.kind != protocol.IOD_DATA:
+                raise ValueError(f"expected data, got {data_msg.kind!r}")
+            payload: ReadData = data_msg.payload
+            if buf is not None:
+                for (roff, rlen), chunk in zip(payload.ranges, payload.chunks):
+                    if chunk is not None:
+                        buf[roff - offset : roff - offset + rlen] = chunk
+        return bytes(buf) if buf is not None else None
+
+    def _raw_write(
+        self,
+        handle: FileHandle,
+        offset: int,
+        nbytes: int,
+        data: bytes | None,
+        sync: bool,
+    ) -> _t.Generator:
+        layout = self._layout(handle)
+        per_iod = layout.split(offset, nbytes)
+        kind = protocol.IOD_SYNC_WRITE if sync else protocol.IOD_WRITE
+        ack_kind = protocol.IOD_SYNC_ACK if sync else protocol.IOD_WRITE_ACK
+        endpoints = []
+        for idx, ranges in sorted(per_iod.items()):
+            ranges = coalesce_ranges(ranges)
+            chunks: list[bytes | None] = [
+                data[roff - offset : roff - offset + rlen]
+                if data is not None
+                else None
+                for roff, rlen in ranges
+            ]
+            endpoint = yield from self._iod_endpoint(handle.iod_nodes[idx])
+            req = WriteRequest(
+                file_id=handle.file_id,
+                ranges=ranges,
+                chunks=chunks,
+                sync=sync,
+                requester_node=self.node.name,
+            )
+            yield from self.node.compute(self.node.costs.syscall_s)
+            endpoint.send(
+                Message(kind=kind, size_bytes=req.wire_size(), payload=req)
+            )
+            endpoints.append(endpoint)
+        for endpoint in endpoints:
+            ack = yield endpoint.recv()
+            if ack.kind != ack_kind:
+                raise ValueError(f"expected {ack_kind!r}, got {ack.kind!r}")

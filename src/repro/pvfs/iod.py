@@ -1,0 +1,317 @@
+"""The PVFS I/O daemon (``iod``).
+
+One per storage node.  Serves striped file data from the local disk
+stack, answers flush batches from client-side flusher threads on a
+separate port (the paper: "a server version of this flusher thread
+runs on the iod nodes, which listens on a separate socket"), and keeps
+the per-block *directory* of caching nodes used by ``sync_write``
+invalidations.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.node import Node
+from repro.disk.filesystem import blocks_spanned, slice_for_block
+from repro.disk.writeback import WritebackItem
+from repro.metrics import Metrics
+from repro.net import Message
+from repro.net.rpc import RpcChannel
+from repro.pvfs import protocol
+from repro.pvfs.protocol import (
+    FlushBatch,
+    InvalidateRequest,
+    ReadData,
+    ReadRequest,
+    WriteRequest,
+)
+from repro.pvfs.striping import StripeLayout
+
+
+class Iod:
+    """One I/O daemon bound to a storage node."""
+
+    def __init__(
+        self,
+        node: Node,
+        layout: StripeLayout,
+        iod_index: int,
+        metrics: Metrics,
+        port: int = 7000,
+        flush_port: int = 7001,
+        invalidate_port: int = 7002,
+    ) -> None:
+        if node.disk is None or node.filestore is None or node.pagecache is None:
+            raise ValueError(f"{node.name} has no disk stack for an iod")
+        self.node = node
+        self.env = node.env
+        self.layout = layout
+        self.iod_index = iod_index
+        self.metrics = metrics
+        self.port = port
+        self.flush_port = flush_port
+        self.invalidate_port = invalidate_port
+        #: (file_id, block_no) -> set of client node names whose cache
+        #: module may hold a copy (the sync_write directory).
+        self.directory: dict[tuple[int, int], set[str]] = {}
+        self._invalidate_channels: dict[str, RpcChannel] = {}
+        self.block_size = node.filestore.block_size
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the accept loops (data + flush ports)."""
+        data_listener = self.node.sockets.listen(self.port)
+        flush_listener = self.node.sockets.listen(self.flush_port)
+
+        def accept_loop(listener, handler, tag) -> _t.Generator:
+            while True:
+                endpoint = yield listener.accept()
+                self.env.process(
+                    handler(endpoint),
+                    name=f"iod-{self.node.name}-{tag}-{id(endpoint):x}",
+                )
+
+        self.env.process(
+            accept_loop(data_listener, self._serve_data, "data"),
+            name=f"iod-{self.node.name}-accept",
+        )
+        self.env.process(
+            accept_loop(flush_listener, self._serve_flush, "flush"),
+            name=f"iod-{self.node.name}-flush-accept",
+        )
+
+    # -- local geometry ------------------------------------------------------
+    def local_offset(self, logical_offset: int) -> int:
+        """Map a logical file offset to this iod's local stripe file."""
+        return self.layout.local_offset(logical_offset)
+
+    # -- data connection handler -----------------------------------------------
+    def _serve_data(self, endpoint) -> _t.Generator:
+        while True:
+            msg: Message = yield endpoint.recv()
+            if msg.kind == protocol.IOD_READ:
+                yield from self._handle_read(endpoint, msg)
+            elif msg.kind == protocol.IOD_WRITE:
+                yield from self._handle_write(endpoint, msg)
+            elif msg.kind == protocol.IOD_SYNC_WRITE:
+                yield from self._handle_sync_write(endpoint, msg)
+            else:
+                raise ValueError(f"iod got unexpected message {msg.kind!r}")
+
+    def _handle_read(self, endpoint, msg: Message) -> _t.Generator:
+        req: ReadRequest = msg.payload
+        yield from self.node.compute(self.node.costs.iod_request_cpu_s)
+        # Acknowledge the request before moving data (PVFS protocol:
+        # libpvfs waits for an ack, then the data stream).
+        yield endpoint.send(
+            msg.reply(protocol.IOD_READ_ACK, protocol.ACK_BYTES)
+        )
+        yield from self._ensure_resident(req.file_id, req.ranges)
+        if req.from_cache and req.requester_node:
+            for off, n in req.ranges:
+                for block in blocks_spanned(off, n, self.block_size):
+                    self.directory.setdefault(
+                        (req.file_id, block), set()
+                    ).add(req.requester_node)
+        chunks = [
+            self._read_range(req.file_id, off, n) if req.want_data else None
+            for off, n in req.ranges
+        ]
+        data = ReadData(file_id=req.file_id, ranges=list(req.ranges), chunks=chunks)
+        self.metrics.inc("iod.reads")
+        self.metrics.inc("iod.read_bytes", req.total_bytes)
+        yield endpoint.send(
+            msg.reply(protocol.IOD_DATA, data.total_bytes, payload=data)
+        )
+
+    def _handle_write(self, endpoint, msg: Message) -> _t.Generator:
+        req: WriteRequest = msg.payload
+        yield from self.node.compute(self.node.costs.iod_request_cpu_s)
+        yield from self._write_ranges(req.file_id, req.ranges, req.chunks)
+        self.metrics.inc("iod.writes")
+        self.metrics.inc("iod.write_bytes", req.total_bytes)
+        yield endpoint.send(
+            msg.reply(protocol.IOD_WRITE_ACK, protocol.ACK_BYTES)
+        )
+
+    def _handle_sync_write(self, endpoint, msg: Message) -> _t.Generator:
+        req: WriteRequest = msg.payload
+        yield from self.node.compute(self.node.costs.iod_request_cpu_s)
+        yield from self._write_ranges(req.file_id, req.ranges, req.chunks)
+        yield from self._invalidate_sharers(req)
+        self.metrics.inc("iod.sync_writes")
+        self.metrics.inc("iod.write_bytes", req.total_bytes)
+        yield endpoint.send(
+            msg.reply(protocol.IOD_SYNC_ACK, protocol.ACK_BYTES)
+        )
+
+    # -- flush connection handler ----------------------------------------------
+    def _serve_flush(self, endpoint) -> _t.Generator:
+        while True:
+            msg: Message = yield endpoint.recv()
+            if msg.kind != protocol.FLUSH:
+                raise ValueError(f"flush port got {msg.kind!r}")
+            batch: FlushBatch = msg.payload
+            yield from self.node.compute(self.node.costs.iod_request_cpu_s)
+            for entry in batch.entries:
+                yield from self._write_ranges(
+                    entry.file_id,
+                    [(entry.offset, entry.nbytes)],
+                    [entry.data],
+                )
+            self.metrics.inc("iod.flush_batches")
+            self.metrics.inc("iod.flushed_bytes", batch.total_bytes)
+            yield endpoint.send(
+                msg.reply(protocol.FLUSH_ACK, protocol.ACK_BYTES)
+            )
+
+    # -- storage paths ---------------------------------------------------------
+    def _ensure_resident(
+        self, file_id: int, ranges: _t.Sequence[protocol.Range]
+    ) -> _t.Generator:
+        """Bring every block covering ``ranges`` into the page cache,
+        reading coalesced runs of missing blocks from disk."""
+        pagecache = self.node.pagecache
+        assert pagecache is not None and self.node.disk is not None
+        missing: list[int] = []
+        for off, n in ranges:
+            for block in blocks_spanned(off, n, self.block_size):
+                if pagecache.lookup(file_id, block):
+                    self.metrics.inc("iod.pagecache_hits")
+                else:
+                    self.metrics.inc("iod.pagecache_misses")
+                    missing.append(block)
+        # Coalesce consecutive missing blocks into single disk requests.
+        run_start: int | None = None
+        prev = None
+        runs: list[tuple[int, int]] = []  # (first_block, n_blocks)
+        for block in missing:
+            if run_start is None:
+                run_start, prev = block, block
+            elif block == prev + 1:
+                prev = block
+            else:
+                runs.append((run_start, prev - run_start + 1))
+                run_start, prev = block, block
+        if run_start is not None:
+            runs.append((run_start, prev - run_start + 1))
+        for first, count in runs:
+            yield self.env.process(
+                self.node.disk.io(
+                    file_id,
+                    self.local_offset(first * self.block_size),
+                    count * self.block_size,
+                    write=False,
+                )
+            )
+            for block in range(first, first + count):
+                pagecache.insert(file_id, block)
+
+    def _read_range(self, file_id: int, offset: int, nbytes: int) -> bytes:
+        """Assemble real bytes for one logical range from the store."""
+        store = self.node.filestore
+        assert store is not None
+        parts: list[bytes] = []
+        for block in blocks_spanned(offset, nbytes, self.block_size):
+            start, length = slice_for_block(offset, nbytes, block, self.block_size)
+            parts.append(store.read_block(file_id, block)[start : start + length])
+        return b"".join(parts)
+
+    def _write_ranges(
+        self,
+        file_id: int,
+        ranges: _t.Sequence[protocol.Range],
+        chunks: _t.Sequence[bytes | None],
+    ) -> _t.Generator:
+        """Buffered write: patch the store, warm the page cache, and
+        hand the bytes to the background writeback daemon.
+
+        Like a real iod's ``write()`` call, the ack does not wait for
+        the platter — the OS page cache absorbs the write and pdflush
+        (our :class:`~repro.disk.writeback.WritebackDaemon`) drains it,
+        throttling us only when dirty memory piles up.
+        """
+        store = self.node.filestore
+        pagecache = self.node.pagecache
+        assert store is not None and pagecache is not None and self.node.disk
+        for (offset, nbytes), data in zip(ranges, chunks):
+            if nbytes == 0:
+                continue
+            for block in blocks_spanned(offset, nbytes, self.block_size):
+                start, length = slice_for_block(
+                    offset, nbytes, block, self.block_size
+                )
+                if data is None:
+                    if not store.has_block(file_id, block):
+                        store.write_block(file_id, block, None)
+                else:
+                    chunk_pos = block * self.block_size + start - offset
+                    piece = data[chunk_pos : chunk_pos + length]
+                    if length == self.block_size:
+                        store.write_block(file_id, block, piece)
+                    else:
+                        old = store.read_block(file_id, block)
+                        patched = (
+                            old[:start] + piece + old[start + length :]
+                        )
+                        store.write_block(file_id, block, patched)
+                pagecache.insert(file_id, block)
+            assert self.node.writeback is not None
+            yield from self.node.writeback.submit(
+                WritebackItem(
+                    file_id=file_id,
+                    local_offset=self.local_offset(offset),
+                    nbytes=nbytes,
+                )
+            )
+
+    # -- sync_write invalidations ---------------------------------------------
+    def _invalidate_sharers(self, req: WriteRequest) -> _t.Generator:
+        """Invalidate every cache holding a written block, except the
+        writer's own node (its cache was updated by the write itself)."""
+        victims: dict[str, list[tuple[int, int]]] = {}
+        for off, n in req.ranges:
+            for block in blocks_spanned(off, n, self.block_size):
+                key = (req.file_id, block)
+                for sharer in self.directory.get(key, ()):
+                    if sharer != req.requester_node:
+                        victims.setdefault(sharer, []).append(key)
+                # After a sync write only the writer's copy is current.
+                if key in self.directory:
+                    keep = (
+                        {req.requester_node}
+                        if req.requester_node in self.directory[key]
+                        else set()
+                    )
+                    self.directory[key] = keep
+        pending = []
+        for node_name, keys in victims.items():
+            channel = yield from self._invalidate_channel(node_name)
+            by_file: dict[int, list[int]] = {}
+            for file_id, block in keys:
+                by_file.setdefault(file_id, []).append(block)
+            for file_id, blocks in by_file.items():
+                inval = InvalidateRequest(file_id=file_id, block_nos=blocks)
+                call = channel.call(
+                    Message(
+                        kind=protocol.INVALIDATE,
+                        size_bytes=inval.wire_size(),
+                        payload=inval,
+                    )
+                )
+                pending.append(call)
+                self.metrics.inc("iod.invalidations_sent", len(blocks))
+        for call in pending:
+            yield call.response()
+            call.close()
+
+    def _invalidate_channel(self, node_name: str) -> _t.Generator:
+        channel = self._invalidate_channels.get(node_name)
+        if channel is None:
+            endpoint = yield self.env.process(
+                self.node.sockets.connect(node_name, self.invalidate_port)
+            )
+            channel = RpcChannel(endpoint)
+            self._invalidate_channels[node_name] = channel
+        return channel

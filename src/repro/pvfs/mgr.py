@@ -1,0 +1,123 @@
+"""The PVFS metadata server (``mgr``).
+
+One instance per cluster.  Serves ``open`` requests: path -> file id
+plus the stripe layout clients need to address the iods.  The paper's
+cache deliberately does **not** cache metadata ("they necessarily go to
+the meta-data server"), so every open pays a round trip here.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.cluster.node import Node
+from repro.metrics import Metrics
+from repro.net import Message
+from repro.pvfs import protocol
+from repro.pvfs.protocol import FileHandle, OpenRequest
+from repro.sim import Process
+
+
+class MetadataServer:
+    """The mgr daemon."""
+
+    def __init__(
+        self,
+        node: Node,
+        iod_nodes: _t.Sequence[str],
+        stripe_size: int,
+        metrics: Metrics,
+        port: int = 3000,
+    ) -> None:
+        self.node = node
+        self.env = node.env
+        self.iod_nodes = tuple(iod_nodes)
+        self.stripe_size = stripe_size
+        self.metrics = metrics
+        self.port = port
+        self._file_ids = itertools.count(1)
+        self._by_path: dict[str, FileHandle] = {}
+        self._proc: Process | None = None
+
+    def start(self) -> None:
+        """Spawn the accept loop."""
+        listener = self.node.sockets.listen(self.port)
+
+        def accept_loop() -> _t.Generator:
+            while True:
+                endpoint = yield listener.accept()
+                self.env.process(
+                    self._serve(endpoint), name=f"mgr-conn-{id(endpoint):x}"
+                )
+
+        self._proc = self.env.process(accept_loop(), name="mgr-accept")
+
+    def lookup(self, path: str) -> FileHandle | None:
+        """Direct (non-simulated) metadata inspection for tests."""
+        return self._by_path.get(path)
+
+    def _open(self, path: str) -> FileHandle:
+        handle = self._by_path.get(path)
+        if handle is None:
+            handle = FileHandle(
+                file_id=next(self._file_ids),
+                path=path,
+                iod_nodes=self.iod_nodes,
+                stripe_size=self.stripe_size,
+            )
+            self._by_path[path] = handle
+            self.metrics.inc("mgr.creates")
+        return handle
+
+    def _serve(self, endpoint) -> _t.Generator:
+        while True:
+            msg: Message = yield endpoint.recv()
+            yield from self.node.compute(self.node.costs.mgr_request_cpu_s)
+            if msg.kind == protocol.MGR_OPEN:
+                handle = self._open(msg.payload.path)
+                self.metrics.inc("mgr.opens")
+                yield endpoint.send(
+                    msg.reply(
+                        protocol.MGR_OPEN_ACK,
+                        protocol.OPEN_ACK_BYTES,
+                        payload=handle,
+                    )
+                )
+            elif msg.kind == protocol.MGR_STAT:
+                path = msg.payload.path
+                self.metrics.inc("mgr.stats")
+                yield endpoint.send(
+                    msg.reply(
+                        protocol.MGR_STAT_ACK,
+                        protocol.OPEN_ACK_BYTES,
+                        payload=protocol.StatReply(
+                            path=path, handle=self._by_path.get(path)
+                        ),
+                    )
+                )
+            elif msg.kind == protocol.MGR_UNLINK:
+                path = msg.payload.path
+                existed = self._by_path.pop(path, None) is not None
+                self.metrics.inc("mgr.unlinks")
+                yield endpoint.send(
+                    msg.reply(
+                        protocol.MGR_UNLINK_ACK,
+                        protocol.ACK_BYTES,
+                        payload=protocol.UnlinkReply(
+                            path=path, existed=existed
+                        ),
+                    )
+                )
+            elif msg.kind == protocol.MGR_LIST:
+                reply = protocol.ListReply(paths=sorted(self._by_path))
+                self.metrics.inc("mgr.lists")
+                yield endpoint.send(
+                    msg.reply(
+                        protocol.MGR_LIST_ACK,
+                        reply.wire_size(),
+                        payload=reply,
+                    )
+                )
+            else:
+                raise ValueError(f"mgr got unexpected message {msg.kind!r}")

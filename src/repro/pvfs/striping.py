@@ -1,0 +1,71 @@
+"""File striping: how a logical byte range maps onto the iods.
+
+PVFS distributes a file round-robin in fixed-size *stripe units*
+(64 KB by default) across the iod set.  Stripe unit ``k`` of a file
+lives on iod ``k mod n`` at local offset ``(k div n) * stripe_size``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.pvfs.protocol import Range
+
+
+@dataclasses.dataclass(frozen=True)
+class StripeLayout:
+    """Round-robin stripe map over ``n_iods`` servers."""
+
+    n_iods: int
+    stripe_size: int
+
+    def __post_init__(self) -> None:
+        if self.n_iods < 1:
+            raise ValueError(f"need at least one iod, got {self.n_iods}")
+        if self.stripe_size <= 0:
+            raise ValueError(f"stripe size must be positive, got {self.stripe_size}")
+
+    def iod_index(self, offset: int) -> int:
+        """Which iod holds the byte at ``offset``."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        return (offset // self.stripe_size) % self.n_iods
+
+    def local_offset(self, offset: int) -> int:
+        """Byte offset within the owning iod's local stripe file."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        stripe = offset // self.stripe_size
+        return (stripe // self.n_iods) * self.stripe_size + (
+            offset % self.stripe_size
+        )
+
+    def split(self, offset: int, nbytes: int) -> dict[int, list[Range]]:
+        """Partition ``[offset, offset+nbytes)`` into per-iod ranges.
+
+        Returned ranges are *logical* file coordinates (the iod maps
+        them locally via :meth:`local_offset`); consecutive stripes on
+        the same iod are not merged here — the client's aggregation
+        step (:func:`repro.pvfs.protocol.coalesce_ranges`) cannot merge
+        them anyway since they are discontiguous in local coordinates
+        only when interleaved, but *are* contiguous logically every
+        ``n_iods`` stripes; we merge the logically-adjacent pieces.
+        """
+        if offset < 0 or nbytes < 0:
+            raise ValueError(f"invalid range {offset}+{nbytes}")
+        out: dict[int, list[Range]] = {}
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            stripe_end = (pos // self.stripe_size + 1) * self.stripe_size
+            piece_end = min(end, stripe_end)
+            idx = self.iod_index(pos)
+            pieces = out.setdefault(idx, [])
+            if pieces and pieces[-1][0] + pieces[-1][1] == pos:
+                # n_iods == 1 (or wrap) made this logically adjacent.
+                last_off, last_n = pieces[-1]
+                pieces[-1] = (last_off, last_n + piece_end - pos)
+            else:
+                pieces.append((pos, piece_end - pos))
+            pos = piece_end
+        return out

@@ -1,0 +1,137 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing as _t
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Owner of simulated time and the pending-event heap.
+
+    Typical use::
+
+        env = Environment()
+        env.process(some_generator_function(env))
+        env.run(until=10.0)
+
+    Heap entries are ``(time, priority, seq, event)``; ``seq`` is a
+    monotone tiebreaker so same-time events process in schedule order,
+    which keeps runs deterministic.
+    """
+
+    #: Priority for events that must process before normal ones at the
+    #: same timestamp (used internally for process-resume urgency).
+    PRIORITY_URGENT = 0
+    PRIORITY_NORMAL = 1
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Process | None = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds, by library convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: _t.Generator, name: str | None = None) -> Process:
+        """Spawn ``generator`` as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: _t.Sequence[Event]) -> AllOf:
+        """An event firing when every given event has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Sequence[Event]) -> AnyOf:
+        """An event firing when any given event has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Queue ``event`` to be processed ``delay`` from now."""
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    # -- run loop ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to it."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        event._process()
+
+    def run(self, until: float | Event | None = None) -> _t.Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<number>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until that event fires; returns its
+          value (raising its exception if it failed).
+        """
+        stop_at: float | None = None
+        stop_event: Event | None = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until={stop_at} is in the past (now={self._now})"
+                )
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise _t.cast(BaseException, stop_event.value)
+            nxt = self.peek()
+            if nxt == float("inf"):
+                if stop_event is not None:
+                    raise RuntimeError(
+                        "simulation ran out of events before the "
+                        f"requested stop event fired: {stop_event!r}"
+                    )
+                return None
+            if stop_at is not None and nxt > stop_at:
+                self._now = stop_at
+                return None
+            self.step()

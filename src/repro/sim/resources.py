@@ -1,0 +1,188 @@
+"""Shared-resource primitives: counting resources, locks, FIFO stores.
+
+These model contention points in the simulated cluster: a node's CPU is
+a :class:`Resource`, the cache module's per-bucket locks are
+:class:`Lock` objects, and every daemon's request queue is a
+:class:`Store`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Usable as a context manager so the common pattern reads::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+        # released on exit
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._enqueue(self)
+
+    def cancel(self) -> None:
+        """Withdraw the claim (before or after it was granted)."""
+        self.resource.release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.cancel()
+
+
+class Resource:
+    """A counting resource with FIFO granting.
+
+    ``capacity`` concurrent holders are allowed; further requests queue.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._holders: set[Request] = set()
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a grant."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a unit claimed by ``request``.
+
+        Safe to call for a request that was never granted (it is
+        removed from the wait queue) and idempotent for an
+        already-released one.
+        """
+        if request in self._holders:
+            self._holders.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass  # already released / never queued: idempotent
+
+    # -- internals ---------------------------------------------------------
+    def _enqueue(self, request: Request) -> None:
+        self._waiting.append(request)
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._holders) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._holders.add(nxt)
+            nxt.succeed(self)
+
+
+class Lock(Resource):
+    """A mutex: a :class:`Resource` of capacity one.
+
+    The cache module uses one per hash bucket plus one each for the
+    free and dirty lists, mirroring the paper's fine-grained locking.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        super().__init__(env, capacity=1)
+
+    @property
+    def locked(self) -> bool:
+        """True while someone holds the mutex."""
+        return self.count > 0
+
+
+class StoreGet(Event):
+    """Event granted when an item becomes available."""
+
+    __slots__ = ()
+
+
+class StorePut(Event):
+    """Event granted when the queued item is admitted."""
+
+    __slots__ = ()
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of Python objects.
+
+    ``put`` fires immediately while below capacity, otherwise when
+    space frees up; ``get`` fires when an item is available.  Used as
+    the mailbox of every simulated daemon and kernel thread.
+    """
+
+    def __init__(
+        self, env: "Environment", capacity: float = float("inf")
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[_t.Any] = deque()
+        self._getters: deque[StoreGet] = deque()
+        self._putters: deque[tuple[StorePut, _t.Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (for inspection in tests)."""
+        return tuple(self._items)
+
+    def put(self, item: _t.Any) -> StorePut:
+        """Queue an item; the event fires when admitted."""
+        event = StorePut(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Request an item; the event fires with it."""
+        event = StoreGet(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit queued puts while there is room.
+            if self._putters and len(self._items) < self.capacity:
+                put_event, item = self._putters.popleft()
+                self._items.append(item)
+                put_event.succeed()
+                progressed = True
+            # Satisfy getters from items.
+            if self._getters and self._items:
+                get_event = self._getters.popleft()
+                get_event.succeed(self._items.popleft())
+                progressed = True

@@ -1,0 +1,28 @@
+"""The paper's customizable micro-benchmark (Section 4.1).
+
+A parallel application whose processes issue read/write requests of
+size ``d`` against shared/private files, with a tunable degree of
+locality ``l`` (target cache-hit ratio), degree of data sharing ``s``
+across application instances, and the node set ``p`` it is
+parallelized over.  Running several instances on the same nodes
+produces the multiprogrammed workloads of Sections 4.2.3/4.2.4.
+"""
+
+from repro.workload.classify import SharingClassifier, TraceCollector
+from repro.workload.microbench import MicroBenchmark, MicroBenchParams
+from repro.workload.pattern import AccessPattern
+from repro.workload.runner import InstanceResult, RunOutcome, run_instances
+from repro.workload.trace import TraceRecorder, TraceReplayer
+
+__all__ = [
+    "AccessPattern",
+    "InstanceResult",
+    "MicroBenchmark",
+    "MicroBenchParams",
+    "RunOutcome",
+    "SharingClassifier",
+    "TraceCollector",
+    "TraceRecorder",
+    "TraceReplayer",
+    "run_instances",
+]

@@ -1,0 +1,149 @@
+"""Command-line micro-benchmark, mirroring the paper's Section 4.1.
+
+"At the high level, this benchmark is a parallel application in which
+multiple processors execute read/write requests of specified sizes on
+shared (or private) file(s) at different offsets.  The command line
+parameters include the size of the file, the size of each I/O request
+(denoted d), the number of nodes over which the application is
+parallelized (p), and a variable indicating whether read or write is
+to be performed. [...] Another parameter, the degree of locality
+(denoted l) [...] the user can also specify the desired degree of data
+sharing between applications (denoted s)."
+
+Examples::
+
+    python -m repro.workload --d 65536 --p 4 --mode read --l 0.5
+    python -m repro.workload --d 4096 --p 2 --instances 2 --s 0.75
+    python -m repro.workload --d 262144 --mode write --no-caching
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from repro.cluster.config import CacheConfig, ClusterConfig, CostModel
+from repro.workload.microbench import MicroBenchParams
+from repro.workload.runner import run_instances
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload",
+        description="Run the paper's customizable micro-benchmark on a "
+        "simulated PVFS cluster.",
+    )
+    parser.add_argument("--d", "--request-size", dest="d", type=int,
+                        default=65536, help="request size in bytes")
+    parser.add_argument("--p", dest="p", type=int, default=4,
+                        help="nodes the application is parallelized over")
+    parser.add_argument("--mode", choices=("read", "write", "sync-write"),
+                        default="read")
+    parser.add_argument("--iterations", type=int, default=32,
+                        help="I/O requests per process")
+    parser.add_argument("--l", "--locality", dest="l", type=float,
+                        default=0.0, help="degree of locality in [0,1]")
+    parser.add_argument("--s", "--sharing", dest="s", type=float,
+                        default=0.0, help="degree of data sharing in [0,1]")
+    parser.add_argument("--instances", type=int, default=1,
+                        help="application instances (multiprogramming)")
+    parser.add_argument("--no-caching", action="store_true",
+                        help="run the original PVFS without the cache module")
+    parser.add_argument("--cache-size", type=int, default=1_200 * 1024,
+                        help="per-node cache size in bytes")
+    parser.add_argument("--fabric", choices=("switch", "hub"),
+                        default="switch")
+    parser.add_argument("--global-cache", action="store_true",
+                        help="enable the cooperative global cache")
+    parser.add_argument("--readahead", action="store_true",
+                        help="enable sequential prefetching")
+    parser.add_argument("--warmup", action="store_true",
+                        help="warm the iod page caches before timing")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--config", type=str, default=None, metavar="FILE",
+                        help="JSON cluster config (overrides --p, "
+                        "--cache-size, --fabric, extension flags)")
+    return parser
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.p < 1 or args.instances < 1:
+        print("error: --p and --instances must be >= 1", file=sys.stderr)
+        return 2
+    if args.config:
+        from repro.cluster.configio import load_config
+
+        with open(args.config) as fp:
+            config = load_config(fp)
+    else:
+        config = ClusterConfig(
+            compute_nodes=args.p,
+            iod_nodes=args.p,
+            caching=not args.no_caching,
+            cache=CacheConfig(
+                size_bytes=args.cache_size,
+                global_cache=args.global_cache,
+                readahead=args.readahead,
+            ),
+            costs=CostModel(fabric=args.fabric),
+        )
+    instances = [
+        MicroBenchParams(
+            nodes=config.compute_node_names(),
+            request_size=args.d,
+            iterations=args.iterations,
+            mode=args.mode,
+            locality=args.l,
+            sharing=args.s,
+            instance=i,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+        for i in range(args.instances)
+    ]
+    outcome = run_instances(config, instances)
+
+    version = "caching" if config.caching else "no caching"
+    print(f"micro-benchmark ({version} version)")
+    print(f"  d={args.d}  p={config.compute_nodes}  mode={args.mode}  "
+          f"l={args.l}  s={args.s}  instances={args.instances}  "
+          f"iterations={args.iterations}")
+    print(f"  total simulated time : {outcome.total_time:.6f} s")
+    for inst in outcome.instances:
+        print(f"  instance {inst.instance} makespan: "
+              f"{inst.makespan:.6f} s")
+    if args.mode == "read":
+        print(f"  mean time per read   : {outcome.mean_read_latency:.6f} s")
+    else:
+        latency = (
+            outcome.mean_write_latency
+            if args.mode == "write"
+            else outcome.cluster.metrics.mean("client.sync_write_latency")
+        )
+        print(f"  mean time per {args.mode:<5}: {latency:.6f} s")
+    if config.caching:
+        hits = outcome.counter("cache.hits")
+        misses = outcome.counter("cache.misses")
+        total = hits + misses
+        print(f"  cache hits/misses    : {hits}/{misses}"
+              + (f"  (hit ratio {hits / total:.2%})" if total else ""))
+        print(f"  faked iod acks       : {outcome.counter('cache.faked_acks')}")
+        print(f"  blocks flushed       : "
+              f"{outcome.counter('flusher.blocks_cleaned')}")
+        if args.global_cache:
+            print(f"  peer-cache hits      : "
+                  f"{outcome.counter('gcache.remote_hits')}")
+        if args.readahead:
+            print(f"  blocks prefetched    : "
+                  f"{outcome.counter('prefetch.completed')}")
+    print(f"  iod page-cache hits  : "
+          f"{outcome.counter('iod.pagecache_hits')}")
+    print(f"  bytes over the wire  : "
+          f"{outcome.cluster.network.fabric.bytes_transferred}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

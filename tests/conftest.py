@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import typing as _t
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import CacheConfig, ClusterConfig
+
+
+def make_cluster(
+    compute_nodes: int = 2,
+    iod_nodes: int = 2,
+    caching: bool = True,
+    cache_blocks: int | None = None,
+    **overrides: _t.Any,
+) -> Cluster:
+    """A small cluster for functional tests (tiny cache by default)."""
+    cache_kwargs: dict[str, _t.Any] = {}
+    if cache_blocks is not None:
+        cache_kwargs["size_bytes"] = cache_blocks * 4096
+    cache = CacheConfig(**cache_kwargs)
+    config = ClusterConfig(
+        compute_nodes=compute_nodes,
+        iod_nodes=iod_nodes,
+        caching=caching,
+        cache=cache,
+        **overrides,
+    )
+    return Cluster(config)
+
+
+def run_app(cluster: Cluster, generator) -> _t.Any:
+    """Run one application generator to completion; returns its value."""
+    proc = cluster.env.process(generator)
+    return cluster.env.run(until=proc)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    return make_cluster()

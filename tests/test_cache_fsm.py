@@ -1,0 +1,100 @@
+"""Unit tests for the per-request finite state machine."""
+
+import pytest
+
+from repro.cache.fsm import FSMState, IllegalTransition, RequestFSM
+from repro.sim import Environment
+
+
+def test_initial_state():
+    env = Environment()
+    fsm = RequestFSM(env)
+    assert fsm.state is FSMState.IDLE
+    assert not fsm.is_done
+    assert fsm.states_visited() == [FSMState.IDLE]
+
+
+def test_full_miss_path():
+    env = Environment()
+    fsm = RequestFSM(env)
+    fsm.to(FSMState.LOOKUP)
+    fsm.to(FSMState.REQUESTS_ISSUED)
+    fsm.to(FSMState.ACK_FAKED)
+    fsm.fake_ack(3)
+    fsm.to(FSMState.AWAIT_DATA)
+    fsm.to(FSMState.COPY)
+    fsm.to(FSMState.DONE)
+    assert fsm.is_done
+    assert fsm.faked_acks == 3
+    assert fsm.states_visited() == [
+        FSMState.IDLE,
+        FSMState.LOOKUP,
+        FSMState.REQUESTS_ISSUED,
+        FSMState.ACK_FAKED,
+        FSMState.AWAIT_DATA,
+        FSMState.COPY,
+        FSMState.DONE,
+    ]
+
+
+def test_full_hit_shortcut():
+    env = Environment()
+    fsm = RequestFSM(env)
+    fsm.to(FSMState.LOOKUP)
+    fsm.to(FSMState.COPY)  # all blocks cached: skip the wire
+    fsm.to(FSMState.DONE)
+    assert fsm.is_done
+    assert fsm.faked_acks == 0
+
+
+def test_illegal_transitions_raise():
+    env = Environment()
+    fsm = RequestFSM(env)
+    with pytest.raises(IllegalTransition):
+        fsm.to(FSMState.COPY)  # IDLE -> COPY illegal
+    fsm.to(FSMState.LOOKUP)
+    with pytest.raises(IllegalTransition):
+        fsm.to(FSMState.AWAIT_DATA)
+    fsm.to(FSMState.REQUESTS_ISSUED)
+    with pytest.raises(IllegalTransition):
+        fsm.to(FSMState.DONE)
+
+
+def test_done_is_terminal():
+    env = Environment()
+    fsm = RequestFSM(env)
+    fsm.to(FSMState.LOOKUP)
+    fsm.to(FSMState.DONE)
+    for state in FSMState:
+        with pytest.raises(IllegalTransition):
+            fsm.to(state)
+
+
+def test_fake_ack_only_in_ack_faked_state():
+    env = Environment()
+    fsm = RequestFSM(env)
+    with pytest.raises(IllegalTransition):
+        fsm.fake_ack()
+    fsm.to(FSMState.LOOKUP)
+    fsm.to(FSMState.REQUESTS_ISSUED)
+    fsm.to(FSMState.ACK_FAKED)
+    fsm.fake_ack()
+    fsm.fake_ack(2)
+    assert fsm.faked_acks == 3
+
+
+def test_trace_records_times():
+    env = Environment()
+    fsm = RequestFSM(env)
+
+    def proc(env):
+        fsm.to(FSMState.LOOKUP)
+        yield env.timeout(5)
+        fsm.to(FSMState.COPY)
+        fsm.to(FSMState.DONE)
+
+    env.process(proc(env))
+    env.run()
+    times = dict((s.value, t) for s, t in fsm.trace)
+    assert times["lookup"] == 0.0
+    assert times["copy"] == 5.0

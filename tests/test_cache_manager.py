@@ -1,0 +1,262 @@
+"""Unit tests for the BufferManager."""
+
+import pytest
+
+from repro.cache.block import BlockState
+from repro.cache.manager import BufferManager
+from repro.cluster.config import CacheConfig
+from repro.metrics import Metrics
+from repro.sim import Environment
+
+
+def _manager(n_blocks=8, replacement="clock"):
+    env = Environment()
+    config = CacheConfig(
+        size_bytes=n_blocks * 4096,
+        block_size=4096,
+        replacement=replacement,
+        low_watermark=0.25,
+        high_watermark=0.5,
+    )
+    return env, BufferManager(env, config, Metrics())
+
+
+def test_initial_state():
+    env, m = _manager(8)
+    assert m.n_free == 8
+    assert m.n_resident == 0
+    assert m.n_dirty == 0
+    assert m.lookup((1, 0)) is None
+
+
+def test_exact_lru_policy_selected():
+    env, m = _manager(replacement="exact-lru")
+    from repro.cache.clock import ExactLRUPolicy
+
+    assert isinstance(m.policy, ExactLRUPolicy)
+
+
+def test_allocate_then_lookup():
+    env, m = _manager()
+    result = {}
+
+    def proc(env):
+        block, resident = yield from m.get_or_allocate((1, 0))
+        result["first"] = (block, resident)
+        block2, resident2 = yield from m.get_or_allocate((1, 0))
+        result["second"] = (block2, resident2)
+
+    env.process(proc(env))
+    env.run()
+    block, resident = result["first"]
+    assert resident is False
+    assert block.state is BlockState.PENDING
+    block2, resident2 = result["second"]
+    assert resident2 is True
+    assert block2 is block
+    assert m.lookup((1, 0)) is block
+    assert m.n_resident == 1
+    assert m.n_free == 7
+
+
+def test_concurrent_allocations_coalesce():
+    """Two processes missing the same key get the SAME block."""
+    env, m = _manager()
+    got = []
+
+    def proc(env, tag):
+        block, resident = yield from m.get_or_allocate((1, 7))
+        got.append((tag, block, resident))
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+    env.run()
+    assert len(got) == 2
+    assert got[0][1] is got[1][1]
+    assert m.metrics.count("cache.allocations") == 1
+
+
+def test_concurrent_different_keys_distinct_blocks():
+    env, m = _manager()
+    got = []
+
+    def proc(env, key):
+        block, _ = yield from m.get_or_allocate(key)
+        got.append(block)
+
+    env.process(proc(env, (1, 0)))
+    env.process(proc(env, (1, 1)))
+    env.run()
+    assert got[0] is not got[1]
+
+
+def test_note_write_and_cleaned():
+    env, m = _manager()
+
+    def proc(env):
+        block, _ = yield from m.get_or_allocate((1, 0))
+        block.write(0, 10, None)
+        m.note_write(block)
+        assert m.n_dirty == 1
+        epoch = block.dirty_epoch
+        assert m.note_cleaned(block, epoch) is True
+        assert m.n_dirty == 0
+        assert block.state is BlockState.CLEAN
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.ok
+
+
+def test_note_cleaned_raced_epoch():
+    env, m = _manager()
+
+    def proc(env):
+        block, _ = yield from m.get_or_allocate((1, 0))
+        block.write(0, 10, None)
+        m.note_write(block)
+        old_epoch = block.dirty_epoch
+        block.write(10, 20, None)  # race: rewritten during flush
+        assert m.note_cleaned(block, old_epoch) is False
+        assert m.n_dirty == 1
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.ok
+
+
+def test_evict_clean_returns_to_freelist():
+    env, m = _manager()
+
+    def proc(env):
+        block, _ = yield from m.get_or_allocate((1, 0))
+        block.make_ready()
+        m.evict(block)
+        assert m.n_free == 8
+        assert m.lookup((1, 0)) is None
+        assert block.state is BlockState.FREE
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.ok
+
+
+def test_evict_guards():
+    env, m = _manager()
+
+    def proc(env):
+        block, _ = yield from m.get_or_allocate((1, 0))
+        block.make_ready()
+        block.pin()
+        with pytest.raises(ValueError):
+            m.evict(block)
+        block.unpin()
+        block.write(0, 10, None)
+        m.note_write(block)
+        with pytest.raises(ValueError):
+            m.evict(block)  # dirty without force
+        m.evict(block, force=True)
+        assert block.state is BlockState.FREE
+        free = [b for b in m.blocks if b.state is BlockState.FREE][0]
+        with pytest.raises(ValueError):
+            m.evict(free)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.ok, p.value
+
+
+def test_invalidate_semantics():
+    env, m = _manager()
+
+    def proc(env):
+        assert m.invalidate((9, 9)) is False  # absent
+        block, _ = yield from m.get_or_allocate((1, 0))
+        # PENDING: left alone
+        assert m.invalidate((1, 0)) is False
+        block.make_ready()
+        # pinned: deferred
+        block.pin()
+        assert m.invalidate((1, 0)) is True
+        assert block.doomed
+        assert m.lookup((1, 0)) is block  # still resident while pinned
+        m.unpin(block)
+        assert m.lookup((1, 0)) is None  # dropped at unpin
+        # plain resident: immediate
+        block2, _ = yield from m.get_or_allocate((1, 1))
+        block2.make_ready()
+        assert m.invalidate((1, 1)) is True
+        assert m.lookup((1, 1)) is None
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.ok, p.value
+
+
+def test_invalidate_dirty_forces_drop():
+    env, m = _manager()
+
+    def proc(env):
+        block, _ = yield from m.get_or_allocate((1, 0))
+        block.write(0, 10, None)
+        m.note_write(block)
+        assert m.invalidate((1, 0)) is True
+        assert m.n_dirty == 0
+        assert block.state is BlockState.FREE
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.ok, p.value
+
+
+def test_allocation_exhaustion_waits_for_eviction():
+    env, m = _manager(n_blocks=2)
+    log = []
+
+    def filler(env):
+        b0, _ = yield from m.get_or_allocate((1, 0))
+        b1, _ = yield from m.get_or_allocate((1, 1))
+        b0.make_ready()
+        b1.make_ready()
+        log.append(("filled", env.now))
+        yield env.timeout(10)
+        m.evict(b0)
+        log.append(("evicted", env.now))
+
+    def late(env):
+        yield env.timeout(1)
+        block, _ = yield from m.get_or_allocate((1, 2))
+        log.append(("allocated", env.now))
+
+    env.process(filler(env))
+    env.process(late(env))
+    env.run()
+    assert ("allocated", 10.0) in log
+
+
+def test_resident_keys_snapshot():
+    env, m = _manager()
+
+    def proc(env):
+        for i in range(3):
+            block, _ = yield from m.get_or_allocate((1, i))
+            block.make_ready()
+
+    env.process(proc(env))
+    env.run()
+    assert m.resident_keys() == {(1, 0), (1, 1), (1, 2)}
+
+
+def test_select_victims_passthrough():
+    env, m = _manager()
+
+    def proc(env):
+        for i in range(4):
+            block, _ = yield from m.get_or_allocate((1, i))
+            block.make_ready()
+            block.refbit = False
+
+    env.process(proc(env))
+    env.run()
+    victims = m.select_victims(2)
+    assert len(victims) == 2

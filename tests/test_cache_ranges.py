@@ -1,0 +1,214 @@
+"""Unit + property tests for ByteRanges (interval sets)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.ranges import ByteRanges
+
+
+def test_empty():
+    r = ByteRanges()
+    assert r.is_empty()
+    assert not r
+    assert r.total == 0
+    assert r.intervals == ()
+    assert r.covers(5, 5)  # empty range always covered
+
+
+def test_add_single():
+    r = ByteRanges()
+    r.add(10, 20)
+    assert r.intervals == ((10, 20),)
+    assert r.total == 10
+    assert r.covers(10, 20)
+    assert r.covers(12, 15)
+    assert not r.covers(9, 11)
+    assert not r.covers(19, 21)
+
+
+def test_add_zero_length_noop():
+    r = ByteRanges()
+    r.add(5, 5)
+    assert r.is_empty()
+
+
+def test_add_inverted_raises():
+    r = ByteRanges()
+    with pytest.raises(ValueError):
+        r.add(10, 5)
+    with pytest.raises(ValueError):
+        r.remove(10, 5)
+
+
+def test_add_merges_overlap():
+    r = ByteRanges([(0, 10), (5, 15)])
+    assert r.intervals == ((0, 15),)
+
+
+def test_add_merges_adjacent():
+    r = ByteRanges([(0, 10), (10, 20)])
+    assert r.intervals == ((0, 20),)
+
+
+def test_add_keeps_disjoint():
+    r = ByteRanges([(0, 5), (10, 15)])
+    assert r.intervals == ((0, 5), (10, 15))
+
+
+def test_add_bridges_many():
+    r = ByteRanges([(0, 5), (10, 15), (20, 25)])
+    r.add(4, 21)
+    assert r.intervals == ((0, 25),)
+
+
+def test_add_insert_in_middle():
+    r = ByteRanges([(0, 2), (10, 12)])
+    r.add(5, 6)
+    assert r.intervals == ((0, 2), (5, 6), (10, 12))
+
+
+def test_remove_middle_splits():
+    r = ByteRanges([(0, 10)])
+    r.remove(3, 6)
+    assert r.intervals == ((0, 3), (6, 10))
+
+
+def test_remove_edges():
+    r = ByteRanges([(0, 10)])
+    r.remove(0, 3)
+    assert r.intervals == ((3, 10),)
+    r.remove(8, 10)
+    assert r.intervals == ((3, 8),)
+
+
+def test_remove_everything():
+    r = ByteRanges([(0, 10), (20, 30)])
+    r.remove(0, 30)
+    assert r.is_empty()
+
+
+def test_remove_disjoint_noop():
+    r = ByteRanges([(0, 10)])
+    r.remove(20, 30)
+    assert r.intervals == ((0, 10),)
+
+
+def test_gaps_basic():
+    r = ByteRanges([(2, 4), (6, 8)])
+    assert r.gaps(0, 10) == [(0, 2), (4, 6), (8, 10)]
+    assert r.gaps(2, 8) == [(4, 6)]
+    assert r.gaps(2, 4) == []
+    assert r.gaps(0, 1) == [(0, 1)]
+
+
+def test_gaps_empty_set():
+    r = ByteRanges()
+    assert r.gaps(3, 9) == [(3, 9)]
+
+
+def test_intersect():
+    r = ByteRanges([(2, 4), (6, 8)])
+    assert r.intersect(0, 10) == [(2, 4), (6, 8)]
+    assert r.intersect(3, 7) == [(3, 4), (6, 7)]
+    assert r.intersect(4, 6) == []
+
+
+def test_clear():
+    r = ByteRanges([(0, 5)])
+    r.clear()
+    assert r.is_empty()
+
+
+def test_equality():
+    assert ByteRanges([(0, 5)]) == ByteRanges([(0, 3), (3, 5)])
+    assert ByteRanges() != ByteRanges([(0, 1)])
+    assert ByteRanges().__eq__(42) is NotImplemented
+
+
+def test_repr():
+    assert "0, 5" in repr(ByteRanges([(0, 5)]))
+
+
+# -- property tests ------------------------------------------------------
+
+intervals_strategy = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(0, 100)).map(
+        lambda t: (min(t), max(t))
+    ),
+    max_size=12,
+)
+
+
+def _model(ops):
+    """Reference model: a set of covered integers."""
+    covered = set()
+    for op, (a, b) in ops:
+        if op == "add":
+            covered |= set(range(a, b))
+        else:
+            covered -= set(range(a, b))
+    return covered
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.tuples(st.integers(0, 60), st.integers(0, 60)).map(
+            lambda t: (min(t), max(t))
+        ),
+    ),
+    max_size=15,
+)
+
+
+@settings(max_examples=200)
+@given(ops=ops_strategy)
+def test_property_matches_set_model(ops):
+    r = ByteRanges()
+    for op, (a, b) in ops:
+        if op == "add":
+            r.add(a, b)
+        else:
+            r.remove(a, b)
+    covered = _model(ops)
+    got = set()
+    for s, e in r.intervals:
+        got |= set(range(s, e))
+    assert got == covered
+    assert r.total == len(covered)
+
+
+@settings(max_examples=200)
+@given(ivals=intervals_strategy)
+def test_property_invariants_sorted_disjoint(ivals):
+    r = ByteRanges(ivals)
+    out = r.intervals
+    for s, e in out:
+        assert s < e  # no empties stored
+    for (s1, e1), (s2, e2) in zip(out, out[1:]):
+        assert e1 < s2  # disjoint AND non-adjacent (merged)
+
+
+@settings(max_examples=200)
+@given(ivals=intervals_strategy, probe=st.tuples(st.integers(0, 100), st.integers(0, 100)))
+def test_property_gaps_partition_probe(ivals, probe):
+    """gaps + intersect exactly tile any probe window."""
+    lo, hi = min(probe), max(probe)
+    r = ByteRanges(ivals)
+    pieces = sorted(r.gaps(lo, hi) + r.intersect(lo, hi))
+    cursor = lo
+    for s, e in pieces:
+        assert s == cursor
+        assert e > s
+        cursor = e
+    assert cursor == hi or (lo == hi and not pieces)
+
+
+@settings(max_examples=100)
+@given(ivals=intervals_strategy)
+def test_property_covers_iff_no_gaps(ivals):
+    r = ByteRanges(ivals)
+    for s, e in list(r.intervals)[:4]:
+        assert r.covers(s, e)
+        assert r.gaps(s, e) == []

@@ -1,0 +1,248 @@
+"""Unit tests for the disk substrate."""
+
+import pytest
+
+from repro.disk import DiskModel, LocalFileStore, PageCache
+from repro.disk.filesystem import blocks_spanned, slice_for_block
+from repro.sim import Environment
+
+
+# -- DiskModel ------------------------------------------------------------
+
+
+def test_disk_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        DiskModel(env, transfer_bytes_per_s=0)
+
+
+def test_disk_first_access_seeks():
+    env = Environment()
+    disk = DiskModel(env, avg_seek_s=0.008, half_rotation_s=0.005,
+                     transfer_bytes_per_s=20e6)
+    done = []
+
+    def proc(env):
+        yield env.process(disk.io(1, 0, 4096, write=False))
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    expected = 0.008 + 0.005 + 4096 / 20e6
+    assert done[0] == pytest.approx(expected)
+    assert disk.seeks == 1
+
+
+def test_disk_sequential_access_skips_seek():
+    env = Environment()
+    disk = DiskModel(env, avg_seek_s=0.008, half_rotation_s=0.005,
+                     transfer_bytes_per_s=20e6)
+    times = []
+
+    def proc(env):
+        yield env.process(disk.io(1, 0, 4096, write=False))
+        t0 = env.now
+        yield env.process(disk.io(1, 4096, 4096, write=False))
+        times.append(env.now - t0)
+
+    env.process(proc(env))
+    env.run()
+    assert times[0] == pytest.approx(4096 / 20e6)
+    assert disk.seeks == 1
+
+
+def test_disk_file_switch_forces_seek():
+    env = Environment()
+    disk = DiskModel(env)
+
+    def proc(env):
+        yield env.process(disk.io(1, 0, 4096, write=False))
+        yield env.process(disk.io(2, 0, 4096, write=False))
+        yield env.process(disk.io(1, 4096, 4096, write=False))
+
+    env.process(proc(env))
+    env.run()
+    # all three seek: new file, other file, then back (head moved away)
+    assert disk.seeks == 3
+
+
+def test_disk_fifo_queueing():
+    """Two concurrent requests serialise on the spindle."""
+    env = Environment()
+    disk = DiskModel(env, avg_seek_s=0.01, half_rotation_s=0,
+                     transfer_bytes_per_s=1e9)
+    finish = {}
+
+    def proc(env, tag, file_id):
+        yield env.process(disk.io(file_id, 0, 4096, write=False))
+        finish[tag] = env.now
+
+    env.process(proc(env, "a", 1))
+    env.process(proc(env, "b", 2))
+    env.run()
+    assert finish["b"] > finish["a"]
+    assert finish["b"] == pytest.approx(2 * finish["a"], rel=0.01)
+
+
+def test_disk_counters():
+    env = Environment()
+    disk = DiskModel(env)
+
+    def proc(env):
+        yield env.process(disk.io(1, 0, 4096, write=False))
+        yield env.process(disk.io(1, 4096, 8192, write=True))
+
+    env.process(proc(env))
+    env.run()
+    assert disk.reads == 1 and disk.bytes_read == 4096
+    assert disk.writes == 1 and disk.bytes_written == 8192
+
+
+def test_disk_negative_size_rejected():
+    env = Environment()
+    disk = DiskModel(env)
+
+    def proc(env):
+        yield env.process(disk.io(1, 0, -1, write=False))
+
+    p = env.process(proc(env))
+    env.run()
+    assert not p.ok
+
+
+# -- LocalFileStore ----------------------------------------------------------
+
+
+def test_store_roundtrip():
+    store = LocalFileStore()
+    store.write_block(1, 0, b"hello")
+    data = store.read_block(1, 0)
+    assert data.startswith(b"hello")
+    assert len(data) == store.block_size
+
+
+def test_store_unwritten_reads_zeros():
+    store = LocalFileStore()
+    assert store.read_block(9, 5) == b"\x00" * store.block_size
+    assert not store.has_block(9, 5)
+
+
+def test_store_sizeless_write_allocates():
+    store = LocalFileStore()
+    store.write_block(1, 3, None)
+    assert store.has_block(1, 3)
+    assert store.read_block(1, 3) == b"\x00" * store.block_size
+
+
+def test_store_oversized_block_rejected():
+    store = LocalFileStore(block_size=16)
+    with pytest.raises(ValueError):
+        store.write_block(1, 0, b"x" * 17)
+
+
+def test_store_invalid_block_size():
+    with pytest.raises(ValueError):
+        LocalFileStore(block_size=0)
+
+
+def test_store_blocks_of_and_delete():
+    store = LocalFileStore()
+    for b in (3, 1, 2):
+        store.write_block(7, b, b"x")
+    store.write_block(8, 0, b"y")
+    assert store.blocks_of(7) == [1, 2, 3]
+    assert store.delete_file(7) == 3
+    assert store.blocks_of(7) == []
+    assert store.has_block(8, 0)
+
+
+def test_store_overwrite_replaces():
+    store = LocalFileStore()
+    store.write_block(1, 0, b"old")
+    store.write_block(1, 0, b"new")
+    assert store.read_block(1, 0).startswith(b"new")
+    assert len(store) == 1
+
+
+# -- block geometry helpers -----------------------------------------------
+
+
+def test_blocks_spanned_basic():
+    assert list(blocks_spanned(0, 4096, 4096)) == [0]
+    assert list(blocks_spanned(0, 4097, 4096)) == [0, 1]
+    assert list(blocks_spanned(4095, 2, 4096)) == [0, 1]
+    assert list(blocks_spanned(8192, 4096, 4096)) == [2]
+
+
+def test_blocks_spanned_empty_and_invalid():
+    assert list(blocks_spanned(100, 0)) == []
+    with pytest.raises(ValueError):
+        blocks_spanned(-1, 10)
+    with pytest.raises(ValueError):
+        blocks_spanned(0, -10)
+
+
+def test_slice_for_block():
+    # request [1000, 9000) with 4 KB blocks
+    assert slice_for_block(1000, 8000, 0, 4096) == (1000, 3096)
+    assert slice_for_block(1000, 8000, 1, 4096) == (0, 4096)
+    assert slice_for_block(1000, 8000, 2, 4096) == (0, 808)
+    assert slice_for_block(1000, 8000, 3, 4096) == (0, 0)
+
+
+# -- PageCache --------------------------------------------------------------
+
+
+def test_pagecache_miss_then_hit():
+    pc = PageCache(capacity_blocks=4)
+    assert pc.lookup(1, 0) is False
+    pc.insert(1, 0)
+    assert pc.lookup(1, 0) is True
+    assert pc.hits == 1 and pc.misses == 1
+    assert pc.hit_ratio == 0.5
+
+
+def test_pagecache_lru_eviction():
+    pc = PageCache(capacity_blocks=2)
+    pc.insert(1, 0)
+    pc.insert(1, 1)
+    pc.lookup(1, 0)  # 0 becomes MRU
+    pc.insert(1, 2)  # evicts 1
+    assert pc.contains(1, 0)
+    assert not pc.contains(1, 1)
+    assert pc.contains(1, 2)
+
+
+def test_pagecache_zero_capacity_never_stores():
+    pc = PageCache(capacity_blocks=0)
+    pc.insert(1, 0)
+    assert not pc.contains(1, 0)
+    assert len(pc) == 0
+
+
+def test_pagecache_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        PageCache(capacity_blocks=-1)
+
+
+def test_pagecache_invalidate():
+    pc = PageCache(capacity_blocks=4)
+    pc.insert(1, 0)
+    assert pc.invalidate(1, 0) is True
+    assert pc.invalidate(1, 0) is False
+    assert not pc.contains(1, 0)
+
+
+def test_pagecache_reinsert_updates_recency():
+    pc = PageCache(capacity_blocks=2)
+    pc.insert(1, 0)
+    pc.insert(1, 1)
+    pc.insert(1, 0)  # refresh, no growth
+    pc.insert(1, 2)  # evicts 1 (LRU), not 0
+    assert pc.contains(1, 0) and pc.contains(1, 2)
+    assert not pc.contains(1, 1)
+
+
+def test_pagecache_hit_ratio_empty():
+    pc = PageCache()
+    assert pc.hit_ratio == 0.0

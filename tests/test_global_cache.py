@@ -1,0 +1,163 @@
+"""Tests for the cooperative global cache extension."""
+
+import pytest
+
+from repro.cache.global_cache import GlobalCacheDirectory
+from repro.cluster.config import CacheConfig, ClusterConfig
+from repro.cluster.cluster import Cluster
+
+
+def make_gcache_cluster(compute_nodes=2, iod_nodes=2, **cache_kw):
+    cache = CacheConfig(global_cache=True, **cache_kw)
+    config = ClusterConfig(
+        compute_nodes=compute_nodes,
+        iod_nodes=iod_nodes,
+        caching=True,
+        cache=cache,
+    )
+    return Cluster(config)
+
+
+# -- directory ----------------------------------------------------------------
+
+
+def test_directory_requires_nodes():
+    with pytest.raises(ValueError):
+        GlobalCacheDirectory([])
+
+
+def test_directory_deterministic_and_balanced():
+    d = GlobalCacheDirectory(["a", "b", "c"])
+    homes = [d.home_of((1, i)) for i in range(300)]
+    assert homes == [d.home_of((1, i)) for i in range(300)]
+    counts = {n: homes.count(n) for n in ("a", "b", "c")}
+    assert all(count > 50 for count in counts.values())
+
+
+def test_directory_order_independent():
+    a = GlobalCacheDirectory(["x", "y", "z"])
+    b = GlobalCacheDirectory(["z", "x", "y"])
+    for i in range(50):
+        assert a.home_of((2, i)) == b.home_of((2, i))
+
+
+# -- end-to-end peer hits --------------------------------------------------------
+
+
+def test_remote_hit_avoids_iod():
+    cluster = make_gcache_cluster()
+    a = cluster.client("node0")
+    b = cluster.client("node1")
+    m = cluster.metrics
+
+    def app(env):
+        f = yield from a.open("/g")
+        # figure out a block homed on node0
+        directory = cluster.cache_modules["node0"].gcache.directory
+        block_no = next(
+            i for i in range(64) if directory.home_of((f.file_id, i)) == "node0"
+        )
+        offset = block_no * 4096
+        yield from a.read(f, offset, 4096)  # node0 now caches it
+        iod_reads_before = m.count("iod.reads")
+        yield from b.read(f, offset, 4096)  # node1 misses -> peer hit
+        assert m.count("gcache.remote_hits") == 1
+        assert m.count("iod.reads") == iod_reads_before  # no iod traffic
+
+    proc = cluster.env.process(app(cluster.env))
+    cluster.env.run(until=proc)
+
+
+def test_remote_miss_falls_through_to_iod():
+    cluster = make_gcache_cluster()
+    b = cluster.client("node1")
+    m = cluster.metrics
+
+    def app(env):
+        f = yield from b.open("/g")
+        directory = cluster.cache_modules["node1"].gcache.directory
+        block_no = next(
+            i for i in range(64) if directory.home_of((f.file_id, i)) == "node0"
+        )
+        # nothing cached anywhere: peer lookup misses, iod serves
+        yield from b.read(f, block_no * 4096, 4096)
+        assert m.count("gcache.remote_lookups") == 1
+        assert m.count("gcache.remote_hits") == 0
+        assert m.count("iod.reads") >= 1
+
+    proc = cluster.env.process(app(cluster.env))
+    cluster.env.run(until=proc)
+
+
+def test_self_homed_blocks_skip_peer_lookup():
+    cluster = make_gcache_cluster()
+    a = cluster.client("node0")
+    m = cluster.metrics
+
+    def app(env):
+        f = yield from a.open("/g")
+        directory = cluster.cache_modules["node0"].gcache.directory
+        block_no = next(
+            i for i in range(64) if directory.home_of((f.file_id, i)) == "node0"
+        )
+        yield from a.read(f, block_no * 4096, 4096)
+        assert m.count("gcache.remote_lookups") == 0
+
+    proc = cluster.env.process(app(cluster.env))
+    cluster.env.run(until=proc)
+
+
+def test_remote_hit_data_integrity():
+    cluster = make_gcache_cluster()
+    a = cluster.client("node0")
+    b = cluster.client("node1")
+
+    def app(env):
+        f = yield from a.open("/g")
+        raw = cluster.client("node0", use_cache=False)
+        payload = bytes(range(256)) * 16
+        yield from raw.write(f, 0, 4096, payload)
+        yield from a.read(f, 0, 4096)  # cache everywhere relevant
+        got = yield from b.read(f, 0, 4096, want_data=True)
+        assert got == payload
+
+    proc = cluster.env.process(app(cluster.env))
+    cluster.env.run(until=proc)
+
+
+def test_remote_hit_cheaper_than_cold_iod_read():
+    """With cold iod page caches (tiny), a peer hit should beat a
+    disk-bound iod read."""
+    cluster = make_gcache_cluster(compute_nodes=2, iod_nodes=2)
+    # shrink the iod page caches to force disk on iod misses
+    for iod in cluster.iods:
+        iod.node.pagecache.capacity_blocks = 0
+        iod.node.pagecache._lru.clear()
+    a = cluster.client("node0")
+    b = cluster.client("node1")
+    times = {}
+
+    def app(env):
+        f = yield from a.open("/g")
+        directory = cluster.cache_modules["node0"].gcache.directory
+        block_no = next(
+            i for i in range(64) if directory.home_of((f.file_id, i)) == "node0"
+        )
+        offset = block_no * 4096
+        t0 = env.now
+        yield from a.read(f, offset, 4096)  # disk-bound cold read
+        times["cold"] = env.now - t0
+        t0 = env.now
+        yield from b.read(f, offset, 4096)  # peer hit
+        times["peer"] = env.now - t0
+
+    proc = cluster.env.process(app(cluster.env))
+    cluster.env.run(until=proc)
+    assert times["peer"] < times["cold"] / 3
+
+
+def test_gcache_disabled_by_default():
+    from tests.conftest import make_cluster
+
+    cluster = make_cluster()
+    assert cluster.cache_modules["node0"].gcache is None

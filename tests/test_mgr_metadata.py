@@ -1,0 +1,86 @@
+"""Tests for the metadata RPCs (stat/unlink/list) over the wire."""
+
+import pytest
+
+from tests.conftest import make_cluster, run_app
+
+
+def test_stat_existing_and_missing():
+    cluster = make_cluster(caching=False)
+    client = cluster.client("node0")
+
+    def app(env):
+        f = yield from client.open("/meta/file")
+        found = yield from client.stat("/meta/file")
+        assert found is not None
+        assert found.file_id == f.file_id
+        missing = yield from client.stat("/meta/ghost")
+        assert missing is None
+
+    run_app(cluster, app(cluster.env))
+    assert cluster.metrics.count("mgr.stats") == 2
+
+
+def test_unlink_removes_from_namespace():
+    cluster = make_cluster(caching=False)
+    client = cluster.client("node0")
+
+    def app(env):
+        yield from client.open("/meta/victim")
+        existed = yield from client.unlink("/meta/victim")
+        assert existed is True
+        gone = yield from client.stat("/meta/victim")
+        assert gone is None
+        again = yield from client.unlink("/meta/victim")
+        assert again is False
+
+    run_app(cluster, app(cluster.env))
+    assert cluster.metrics.count("mgr.unlinks") == 2
+
+
+def test_listdir_reflects_namespace():
+    cluster = make_cluster(caching=False)
+    a = cluster.client("node0")
+    b = cluster.client("node1")
+
+    def app(env):
+        yield from a.open("/z")
+        yield from b.open("/a")
+        paths = yield from a.listdir()
+        assert paths == ["/a", "/z"]
+
+    run_app(cluster, app(cluster.env))
+    assert cluster.metrics.count("mgr.lists") == 1
+
+
+def test_reopen_after_unlink_creates_fresh_file():
+    cluster = make_cluster(caching=False)
+    client = cluster.client("node0")
+
+    def app(env):
+        f1 = yield from client.open("/reborn")
+        yield from client.unlink("/reborn")
+        f2 = yield from client.open("/reborn")
+        assert f2.file_id != f1.file_id
+
+    run_app(cluster, app(cluster.env))
+
+
+def test_metadata_ops_cost_simulated_time():
+    """Metadata is never cached: each op pays a mgr round trip."""
+    cluster = make_cluster(caching=True)
+    client = cluster.client("node0")
+
+    def app(env):
+        yield from client.open("/timed")
+        t0 = env.now
+        yield from client.stat("/timed")
+        first = env.now - t0
+        t0 = env.now
+        yield from client.stat("/timed")
+        second = env.now - t0
+        # the second stat is just as expensive: no metadata caching
+        assert second == pytest.approx(first, rel=0.5)
+        assert second > 0
+
+    run_app(cluster, app(cluster.env))

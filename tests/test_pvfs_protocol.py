@@ -1,0 +1,81 @@
+"""Unit + property tests for protocol payloads and range coalescing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pvfs import protocol
+from repro.pvfs.protocol import (
+    FileHandle,
+    FlushBatch,
+    FlushEntry,
+    InvalidateRequest,
+    ReadRequest,
+    WriteRequest,
+    coalesce_ranges,
+)
+
+
+def test_file_handle():
+    h = FileHandle(1, "/f", ("a", "b"), 65536)
+    assert h.n_iods == 2
+
+
+def test_read_request_sizes():
+    r = ReadRequest(file_id=1, ranges=[(0, 100), (200, 50)])
+    assert r.total_bytes == 150
+    assert r.wire_size() == 2 * protocol.RANGE_DESC_BYTES
+    empty = ReadRequest(file_id=1, ranges=[])
+    assert empty.wire_size() == protocol.RANGE_DESC_BYTES
+
+
+def test_write_request_sizes():
+    w = WriteRequest(file_id=1, ranges=[(0, 100)], chunks=[None])
+    assert w.total_bytes == 100
+    assert w.wire_size() == protocol.RANGE_DESC_BYTES + 100
+
+
+def test_flush_batch_sizes():
+    b = FlushBatch(entries=[
+        FlushEntry(file_id=1, offset=0, nbytes=100, data=None),
+        FlushEntry(file_id=1, offset=500, nbytes=50, data=None),
+    ])
+    assert b.total_bytes == 150
+    assert b.wire_size() == 2 * protocol.RANGE_DESC_BYTES + 150
+
+
+def test_invalidate_request_size():
+    r = InvalidateRequest(file_id=1, block_nos=[1, 2, 3])
+    assert r.wire_size() == 3 * protocol.BLOCK_ID_BYTES
+
+
+def test_coalesce_basic():
+    assert coalesce_ranges([(0, 10), (10, 10)]) == [(0, 20)]
+    assert coalesce_ranges([(10, 10), (0, 10)]) == [(0, 20)]
+    assert coalesce_ranges([(0, 10), (20, 10)]) == [(0, 10), (20, 10)]
+    assert coalesce_ranges([(0, 10), (5, 10)]) == [(0, 15)]
+    assert coalesce_ranges([]) == []
+    assert coalesce_ranges([(5, 0)]) == []  # zero-length dropped
+
+
+ranges_strategy = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(0, 60)), max_size=15
+)
+
+
+@settings(max_examples=200)
+@given(ranges=ranges_strategy)
+def test_property_coalesce_preserves_coverage(ranges):
+    covered = set()
+    for off, n in ranges:
+        covered |= set(range(off, off + n))
+    out = coalesce_ranges(ranges)
+    got = set()
+    for off, n in out:
+        got |= set(range(off, off + n))
+    assert got == covered
+    # output is sorted, non-overlapping, non-adjacent, non-empty
+    for (o1, n1), (o2, n2) in zip(out, out[1:]):
+        assert o1 + n1 < o2
+    for _, n in out:
+        assert n > 0

@@ -1,0 +1,121 @@
+"""Unit + property tests for the stripe layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pvfs.striping import StripeLayout
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StripeLayout(0, 65536)
+    with pytest.raises(ValueError):
+        StripeLayout(4, 0)
+    layout = StripeLayout(4, 65536)
+    with pytest.raises(ValueError):
+        layout.iod_index(-1)
+    with pytest.raises(ValueError):
+        layout.local_offset(-1)
+    with pytest.raises(ValueError):
+        layout.split(-1, 10)
+
+
+def test_round_robin_mapping():
+    layout = StripeLayout(4, 65536)
+    assert layout.iod_index(0) == 0
+    assert layout.iod_index(65535) == 0
+    assert layout.iod_index(65536) == 1
+    assert layout.iod_index(4 * 65536) == 0  # wraps
+
+
+def test_local_offsets_compact():
+    layout = StripeLayout(4, 65536)
+    # second stripe on iod 0 (global stripe 4) starts locally at 64 KB
+    assert layout.local_offset(0) == 0
+    assert layout.local_offset(4 * 65536) == 65536
+    assert layout.local_offset(4 * 65536 + 100) == 65536 + 100
+    assert layout.local_offset(65536) == 0  # iod 1's first byte
+
+
+def test_split_single_stripe():
+    layout = StripeLayout(4, 65536)
+    out = layout.split(100, 1000)
+    assert out == {0: [(100, 1000)]}
+
+
+def test_split_across_stripes():
+    layout = StripeLayout(2, 100)
+    out = layout.split(50, 200)
+    assert out == {0: [(50, 50), (200, 50)], 1: [(100, 100)]}
+
+
+def test_split_single_iod_merges_adjacent():
+    layout = StripeLayout(1, 100)
+    out = layout.split(0, 1000)
+    assert out == {0: [(0, 1000)]}
+
+
+def test_split_empty():
+    layout = StripeLayout(4, 65536)
+    assert layout.split(10, 0) == {}
+
+
+@settings(max_examples=200)
+@given(
+    n_iods=st.integers(1, 8),
+    stripe=st.sampled_from([64, 128, 4096, 65536]),
+    offset=st.integers(0, 10**6),
+    nbytes=st.integers(0, 10**6),
+)
+def test_property_split_partitions_range(n_iods, stripe, offset, nbytes):
+    """The per-iod ranges exactly tile [offset, offset+nbytes)."""
+    layout = StripeLayout(n_iods, stripe)
+    out = layout.split(offset, nbytes)
+    pieces = sorted(
+        (off, n) for ranges in out.values() for off, n in ranges
+    )
+    cursor = offset
+    for off, n in pieces:
+        assert off == cursor
+        assert n > 0
+        cursor = off + n
+    assert cursor == offset + nbytes or (nbytes == 0 and not pieces)
+
+
+@settings(max_examples=200)
+@given(
+    n_iods=st.integers(1, 8),
+    stripe=st.sampled_from([64, 4096, 65536]),
+    offset=st.integers(0, 10**6),
+    nbytes=st.integers(1, 10**5),
+)
+def test_property_split_ranges_owned_by_right_iod(
+    n_iods, stripe, offset, nbytes
+):
+    layout = StripeLayout(n_iods, stripe)
+    for idx, ranges in layout.split(offset, nbytes).items():
+        for off, n in ranges:
+            # every byte of the range maps to idx
+            assert layout.iod_index(off) == idx
+            assert layout.iod_index(off + n - 1) == idx
+
+
+@settings(max_examples=200)
+@given(
+    n_iods=st.integers(1, 8),
+    stripe=st.sampled_from([64, 4096]),
+    offsets=st.lists(st.integers(0, 10**5), min_size=2, max_size=10),
+)
+def test_property_local_offset_monotone_per_iod(n_iods, stripe, offsets):
+    """Within one iod, increasing global offsets map to increasing
+    local offsets (sequential scans stay sequential on disk)."""
+    layout = StripeLayout(n_iods, stripe)
+    by_iod: dict[int, list[tuple[int, int]]] = {}
+    for off in sorted(set(offsets)):
+        by_iod.setdefault(layout.iod_index(off), []).append(
+            (off, layout.local_offset(off))
+        )
+    for pairs in by_iod.values():
+        locals_ = [loc for _, loc in pairs]
+        assert locals_ == sorted(locals_)

@@ -1,0 +1,42 @@
+"""Tests for the sensitivity-sweep experiments."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    run_block_size_sweep,
+    run_cache_size_sweep,
+    run_multiprogramming_sweep,
+)
+
+
+def test_cache_size_sweep_monotone_benefit():
+    """More cache never hurts, and the sweep reports real speedups."""
+    result = run_cache_size_sweep(sizes_kb=(300, 1200, 4800))
+    series = result.get("speedup")
+    assert series.xs == [300, 1200, 4800]
+    assert all(s > 0 for s in series.ys)
+    # growing the cache 16x should not reduce the benefit noticeably
+    assert series.y_at(4800) >= series.y_at(300) * 0.9
+    assert "baseline" in result.notes
+
+
+def test_cache_size_sweep_bigger_cache_helps_locality():
+    result = run_cache_size_sweep(sizes_kb=(300, 4800))
+    small, large = result.get("speedup").ys
+    assert large >= small * 0.95
+
+
+def test_multiprogramming_sweep_shapes():
+    result = run_multiprogramming_sweep(degrees=(1, 2))
+    series = result.get("speedup")
+    assert series.xs == [1, 2]
+    # the shared cache helps multiprogrammed nodes at least as much as
+    # a single instance (inter-application hits only exist at >= 2)
+    assert all(s > 1.0 for s in series.ys)
+
+
+def test_block_size_sweep_runs_all_sizes():
+    result = run_block_size_sweep(block_sizes=(4096, 16384))
+    series = result.get("caching")
+    assert series.xs == [4096, 16384]
+    assert all(t > 0 for t in series.ys)

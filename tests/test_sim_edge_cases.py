@@ -1,0 +1,209 @@
+"""Edge-case and failure-injection tests for the simulation engine."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Lock, Resource, Store
+from repro.sim.process import ProcessKilled
+
+
+def test_kill_while_holding_lock_leaks_by_design():
+    """A killed process does NOT auto-release held resources (like a
+    kernel thread dying with a spinlock); the next claimant waits
+    forever.  This documents the semantics so misuse is caught in
+    design review, not debugging."""
+    env = Environment()
+    lock = Lock(env)
+    got_lock = []
+
+    def holder(env):
+        req = lock.request()
+        yield req
+        yield env.timeout(100)
+
+    def claimant(env):
+        yield env.timeout(2)
+        req = lock.request()
+        yield req
+        got_lock.append(env.now)
+
+    victim = env.process(holder(env))
+
+    def killer(env):
+        yield env.timeout(1)
+        victim.kill()
+
+    env.process(killer(env))
+    env.process(claimant(env))
+    env.run(until=50)
+    assert got_lock == []  # the lock stayed held
+    assert lock.locked
+
+
+def test_kill_releases_nothing_but_fails_waiters():
+    env = Environment()
+
+    def sleeper(env):
+        yield env.timeout(10)
+
+    victim = env.process(sleeper(env))
+    outcomes = []
+
+    def waiter(env):
+        try:
+            yield victim
+        except ProcessKilled as exc:
+            outcomes.append(str(exc))
+
+    def killer(env):
+        yield env.timeout(1)
+        victim.kill()
+
+    env.process(waiter(env))
+    env.process(killer(env))
+    env.run()
+    assert len(outcomes) == 1
+
+
+def test_interrupt_during_resource_wait_dequeues_cleanly():
+    """Interrupting a process waiting on a Resource must not leave a
+    stale grant that blocks others (the request is cancelled in the
+    handler)."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+
+    def impatient(env):
+        req = res.request()
+        try:
+            yield req
+        except Interrupt:
+            req.cancel()
+            order.append(("gave-up", env.now))
+            return
+
+    def patient(env):
+        yield env.timeout(2)
+        req = res.request()
+        yield req
+        order.append(("granted", env.now))
+        res.release(req)
+
+    env.process(holder(env))
+    victim = env.process(impatient(env))
+
+    def interrupter(env):
+        yield env.timeout(1)
+        victim.interrupt("timeout")
+
+    env.process(interrupter(env))
+    env.process(patient(env))
+    env.run()
+    assert order == [("gave-up", 1.0), ("granted", 10.0)]
+
+
+def test_store_get_after_producer_dies():
+    """A consumer blocked on a Store whose producer died simply never
+    resumes — the run drains without error."""
+    env = Environment()
+    store = Store(env)
+    resumed = []
+
+    def consumer(env):
+        item = yield store.get()
+        resumed.append(item)
+
+    def producer(env):
+        yield env.timeout(1)
+        raise RuntimeError("producer crashed before putting")
+
+    env.process(consumer(env))
+    proc = env.process(producer(env))
+    env.run()
+    assert resumed == []
+    assert proc.triggered and not proc.ok
+
+
+def test_failed_process_propagates_to_all_of():
+    env = Environment()
+
+    def good(env):
+        yield env.timeout(1)
+
+    def bad(env):
+        yield env.timeout(2)
+        raise ValueError("boom")
+
+    def waiter(env):
+        with pytest.raises(ValueError):
+            yield env.all_of([env.process(good(env)), env.process(bad(env))])
+        return "handled"
+
+    proc = env.process(waiter(env))
+    assert env.run(until=proc) == "handled"
+
+
+def test_exception_inside_nested_yield_from_chain():
+    """Errors raised deep in a yield-from chain surface at the top."""
+    env = Environment()
+
+    def level3(env):
+        yield env.timeout(1)
+        raise KeyError("deep")
+
+    def level2(env):
+        yield from level3(env)
+
+    def level1(env):
+        try:
+            yield from level2(env)
+        except KeyError as exc:
+            return f"caught {exc}"
+
+    proc = env.process(level1(env))
+    assert "caught" in env.run(until=proc)
+
+
+def test_zero_delay_timeout_processes_in_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(0)
+        order.append(tag)
+
+    for tag in range(4):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_event_callbacks_after_processing_run_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("v")
+    env.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_many_concurrent_processes_scale():
+    """Sanity: thousands of processes interleave without recursion or
+    quadratic blowup."""
+    env = Environment()
+    done = []
+
+    def proc(env, i):
+        yield env.timeout(i % 7 / 10.0)
+        done.append(i)
+
+    for i in range(2000):
+        env.process(proc(env, i))
+    env.run()
+    assert len(done) == 2000
