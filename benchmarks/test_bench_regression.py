@@ -1,0 +1,103 @@
+"""Benchmark-regression harness gating the engine fast paths.
+
+Tracks two host-side numbers in ``BENCH_engine.json`` at the repo
+root so the perf trajectory is visible across PRs:
+
+* ``events_per_sec`` — raw event-loop throughput (timeout
+  schedule/fire pairs per wall-clock second, best of three);
+* ``fig4_quick_sweep_s`` — end-to-end wall-clock of the quick fig4
+  sweep run serially (``REPRO_SWEEP_WORKERS=1``), i.e. the simulator
+  cost of a real figure reproduction with parallelism factored out.
+
+If the baseline file is missing — or ``REPRO_BENCH_UPDATE=1`` is set —
+the current numbers are written as the new baseline and the test is
+skipped.  Otherwise the test fails when either metric regresses by
+more than ``REGRESSION_FACTOR``; the factor is deliberately generous
+because absolute numbers vary across hosts and CI runners.  After an
+intentional engine change, refresh with::
+
+    REPRO_BENCH_UPDATE=1 PYTHONPATH=src \
+        python -m pytest benchmarks/test_bench_regression.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.parallel import WORKERS_ENV_VAR
+from repro.sim import Environment
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Set to refresh the committed baseline instead of comparing to it.
+UPDATE_ENV_VAR = "REPRO_BENCH_UPDATE"
+
+#: A metric may be up to this many times worse than baseline before the
+#: test fails.  Generous on purpose: the baseline is measured on one
+#: host and compared on many.
+REGRESSION_FACTOR = 2.5
+
+
+def _measure_events_per_sec(n_events: int = 200_000, rounds: int = 3) -> float:
+    """Timeout schedule+fire pairs per second, best of ``rounds``."""
+
+    def ticker(env):
+        for _ in range(n_events):
+            yield env.timeout(1)
+
+    best = 0.0
+    for _ in range(rounds):
+        env = Environment()
+        env.process(ticker(env))
+        t0 = time.perf_counter()
+        env.run()
+        elapsed = time.perf_counter() - t0
+        assert env.now == n_events
+        best = max(best, n_events / elapsed)
+    return best
+
+
+def _measure_fig4_quick_sweep_s() -> float:
+    """Wall-clock seconds for the serial quick fig4 sweep."""
+    from repro.experiments.fig4 import run_fig4
+
+    t0 = time.perf_counter()
+    run_fig4(quick=True)
+    return time.perf_counter() - t0
+
+
+def test_engine_regression(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV_VAR, "1")  # comparable across hosts
+    current = {
+        "events_per_sec": round(_measure_events_per_sec(), 1),
+        "fig4_quick_sweep_s": round(_measure_fig4_quick_sweep_s(), 3),
+    }
+    if os.environ.get(UPDATE_ENV_VAR) or not BASELINE_PATH.exists():
+        payload = {
+            "comment": (
+                "Engine perf baseline; refresh with "
+                f"{UPDATE_ENV_VAR}=1 pytest "
+                "benchmarks/test_bench_regression.py"
+            ),
+            **current,
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        pytest.skip(f"baseline written to {BASELINE_PATH}")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["events_per_sec"] / REGRESSION_FACTOR
+    assert current["events_per_sec"] >= floor, (
+        f"event-loop throughput regressed: {current['events_per_sec']:.0f} "
+        f"events/s vs baseline {baseline['events_per_sec']:.0f} "
+        f"(floor {floor:.0f})"
+    )
+    ceiling = baseline["fig4_quick_sweep_s"] * REGRESSION_FACTOR
+    assert current["fig4_quick_sweep_s"] <= ceiling, (
+        f"fig4 quick sweep regressed: {current['fig4_quick_sweep_s']:.2f}s "
+        f"vs baseline {baseline['fig4_quick_sweep_s']:.2f}s "
+        f"(ceiling {ceiling:.2f}s)"
+    )

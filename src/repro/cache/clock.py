@@ -42,6 +42,9 @@ class ClockPolicy(ReplacementPolicy):
     def __init__(self) -> None:
         self._ring: list[CacheBlock] = []
         self._hand = 0
+        #: Bumped per sweep; blocks stamped with the current generation
+        #: have already been picked (victim or dirty fallback).
+        self._sweep_gen = 0
 
     def touch(self, block: CacheBlock) -> None:
         """Set the reference bit (O(1) hot path; ring membership is
@@ -78,46 +81,64 @@ class ClockPolicy(ReplacementPolicy):
         if n <= 0 or not self._ring:
             return []
         victims: list[CacheBlock] = []
-        seen_victims: set[int] = set()
         dirty_fallback: list[CacheBlock] = []
-        seen_fallback: set[int] = set()
         # Two full sweeps: the first clears reference bits, the second
         # collects whatever is evictable.  If a whole revolution makes
         # no progress at all (everything pinned / pending / already in
         # flight), stop early — a longer sweep cannot help.
-        ring_len = len(self._ring)
+        #
+        # This loop dominates harvester cost on cache-pressure
+        # workloads, so it runs on local variables with the
+        # ``is_evictable`` property inlined.  Instead of id() sets,
+        # already-picked blocks carry the sweep generation in their
+        # ``sweep_mark`` — nothing can touch a block mid-sweep (the
+        # sweep is synchronous), so victim and fallback sets are
+        # disjoint and one stamp covers both.
+        self._sweep_gen += 1
+        gen = self._sweep_gen
+        ring = self._ring
+        hand = self._hand
+        ring_len = len(ring)
         max_steps = 2 * ring_len
         steps = 0
+        n_picked = 0
         useful_in_revolution = 0
-        while len(victims) < n and steps < max_steps:
-            if steps and steps % ring_len == 0:
+        clean = BlockState.CLEAN
+        dirty = BlockState.DIRTY
+        while n_picked < n and steps < max_steps:
+            if steps == ring_len:
                 if useful_in_revolution == 0:
                     break
                 useful_in_revolution = 0
-            block = self._ring[self._hand]
-            self._hand = (self._hand + 1) % ring_len
+            block = ring[hand]
+            hand += 1
+            if hand == ring_len:
+                hand = 0
             steps += 1
-            if not block.is_evictable or id(block) in seen_victims:
+            state = block.state
+            if block.pins or (state is not clean and state is not dirty):
                 continue
             if block.refbit:
                 block.refbit = False  # second chance
                 useful_in_revolution += 1
                 continue
-            if prefer_clean and block.state is BlockState.DIRTY:
-                if id(block) not in seen_fallback:
-                    seen_fallback.add(id(block))
-                    dirty_fallback.append(block)
-                    useful_in_revolution += 1
+            if block.sweep_mark == gen:
                 continue
-            seen_victims.add(id(block))
+            block.sweep_mark = gen
+            if prefer_clean and state is dirty:
+                dirty_fallback.append(block)
+                useful_in_revolution += 1
+                continue
             victims.append(block)
+            n_picked += 1
             useful_in_revolution += 1
+        self._hand = hand
         for block in dirty_fallback:
-            if len(victims) >= n:
+            if n_picked >= n:
                 break
-            if block.is_evictable and id(block) not in seen_victims:
-                seen_victims.add(id(block))
+            if block.is_evictable:
                 victims.append(block)
+                n_picked += 1
         return victims
 
     def __len__(self) -> int:

@@ -228,6 +228,16 @@ class CacheModule:
         if len(segments) == 1:
             yield from run_segment(*segments[0])
             return
+        if len(segments) <= self.PIPELINE_DEPTH:
+            # Few enough segments that the depth limit cannot bind:
+            # skip the slot Resource entirely (its request/grant events
+            # are pure overhead when every grant is immediate).
+            procs = [
+                self.env.process(run_segment(so, sn), name=f"seg-{so}")
+                for so, sn in segments
+            ]
+            yield self.env.all_of(procs)
+            return
         from repro.sim import Resource
 
         slots = Resource(self.env, capacity=self.PIPELINE_DEPTH)
@@ -262,11 +272,15 @@ class CacheModule:
         owned: dict[int, CacheBlock] = {}
         #: resident blocks with gaps to fill: block_no -> (block, gaps)
         gappy: dict[int, tuple[CacheBlock, list[tuple[int, int]]]] = {}
+        #: every block this segment touched, by block_no — pinned for
+        #: the whole segment, so the copy-out loop can use these
+        #: directly instead of re-probing the hash table.
+        resolved: dict[int, CacheBlock] = {}
         try:
             for block_no in block_nos:
                 yield from self._classify_block(
                     handle.file_id, block_no, offset, nbytes,
-                    pinned, owned, gappy,
+                    pinned, owned, gappy, resolved,
                 )
             if owned or gappy:
                 yield from self._fetch(
@@ -285,7 +299,7 @@ class CacheModule:
             )
             if buf is not None:
                 for block_no in block_nos:
-                    block = self.manager.table.get((handle.file_id, block_no))
+                    block = resolved.get(block_no)
                     if block is None:
                         continue
                     start, end = self._block_slice(offset, nbytes, block_no)
@@ -308,6 +322,7 @@ class CacheModule:
         pinned: list[CacheBlock],
         owned: dict[int, CacheBlock],
         gappy: dict[int, tuple[CacheBlock, list[tuple[int, int]]]],
+        resolved: dict[int, CacheBlock],
     ) -> _t.Generator:
         """Decide hit / pending-wait / gap-fetch / miss for one block."""
         key = (file_id, block_no)
@@ -320,11 +335,13 @@ class CacheModule:
                     block.pin()
                     pinned.append(block)
                     owned[block_no] = block
+                    resolved[block_no] = block
                     self.metrics.inc("cache.misses")
                     return
                 continue  # raced: re-examine the resident block
             block.pin()
             pinned.append(block)
+            resolved[block_no] = block
             if block.state is BlockState.PENDING:
                 # Another process is fetching this block: wait for its
                 # data instead of issuing a duplicate request.  This is
@@ -530,7 +547,14 @@ class CacheModule:
             if data is not None:
                 src = block_no * self.block_size + start - request_base
                 piece = data[src : src + (end - start)]
-            block, resident = yield from self.manager.get_or_allocate(key)
+            # Resident fast path: a plain lookup avoids spinning up the
+            # get_or_allocate generator for write hits (the common case
+            # once a file's working set is cached).
+            block = self.manager.lookup(key)
+            if block is not None:
+                resident = True
+            else:
+                block, resident = yield from self.manager.get_or_allocate(key)
             block.write(start, end, piece)
             self.manager.note_write(block)
             if not resident:

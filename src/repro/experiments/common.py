@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing as _t
 
 
@@ -27,9 +28,14 @@ class Series:
         self.points.append(SeriesPoint(x=x, y=y, extra=dict(extra)))
 
     def y_at(self, x: float) -> float:
-        """The y value at ``x`` (KeyError if absent)."""
+        """The y value at ``x`` (KeyError if absent).
+
+        Matches with ``math.isclose`` rather than exact equality so
+        x-values recomputed in sweep worker processes (or read back
+        from serialized results) round-trip safely.
+        """
         for point in self.points:
-            if point.x == x:
+            if math.isclose(point.x, x, rel_tol=1e-9, abs_tol=1e-12):
                 return point.y
         raise KeyError(f"no point at x={x} in series {self.label!r}")
 

@@ -16,7 +16,53 @@ from __future__ import annotations
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import CacheConfig, ClusterConfig
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import sweep
 from repro.workload import MicroBenchParams, run_instances
+
+
+def _coherence_point(
+    fraction: float, d: int, p: int, iterations: int
+) -> tuple[float, float]:
+    """One coherence-sweep point: (blended write latency, invalidations)."""
+    config = ClusterConfig(compute_nodes=p, iod_nodes=p, caching=True)
+    writer = MicroBenchParams(
+        nodes=config.compute_node_names(),
+        request_size=d,
+        iterations=iterations,
+        mode="write",
+        sync_fraction=fraction,
+        sharing=1.0,
+        instance=0,
+        partition_bytes=2 * 2**20,
+    )
+    # The reader's ranks run on the REVERSED node order, so rank k
+    # reads partition k from a different node than the writer's
+    # rank k writes it — the cross-node copies that sync_write
+    # must invalidate.
+    reader = MicroBenchParams(
+        nodes=list(reversed(config.compute_node_names())),
+        request_size=d,
+        iterations=iterations,
+        mode="read",
+        sharing=1.0,
+        instance=1,
+        partition_bytes=2 * 2**20,
+    )
+    out = run_instances(config, [writer, reader])
+    latency = out.cluster.metrics.mean("client.write_latency")
+    sync_latency = out.cluster.metrics.mean("client.sync_write_latency")
+    # blend: the writer's overall per-request cost
+    n_sync = out.counter("client.sync_writes")
+    n_plain = out.counter("client.writes")
+    total = n_sync + n_plain
+    blended = 0.0
+    if total:
+        blended = (
+            (latency if latency == latency else 0.0) * n_plain
+            + (sync_latency if sync_latency == sync_latency else 0.0)
+            * n_sync
+        ) / total
+    return blended, float(out.counter("cache.invalidations_received"))
 
 
 def run_coherence_sweep(
@@ -36,51 +82,42 @@ def run_coherence_sweep(
     )
     series = result.new_series("write latency")
     inval_series = result.new_series("invalidations (count)")
-    for fraction in fractions:
-        config = ClusterConfig(compute_nodes=p, iod_nodes=p, caching=True)
-        writer = MicroBenchParams(
-            nodes=config.compute_node_names(),
-            request_size=d,
-            iterations=iterations,
-            mode="write",
-            sync_fraction=fraction,
-            sharing=1.0,
-            instance=0,
-            partition_bytes=2 * 2**20,
-        )
-        # The reader's ranks run on the REVERSED node order, so rank k
-        # reads partition k from a different node than the writer's
-        # rank k writes it — the cross-node copies that sync_write
-        # must invalidate.
-        reader = MicroBenchParams(
-            nodes=list(reversed(config.compute_node_names())),
-            request_size=d,
-            iterations=iterations,
-            mode="read",
-            sharing=1.0,
-            instance=1,
-            partition_bytes=2 * 2**20,
-        )
-        out = run_instances(config, [writer, reader])
-        latency = out.cluster.metrics.mean("client.write_latency")
-        sync_latency = out.cluster.metrics.mean("client.sync_write_latency")
-        # blend: the writer's overall per-request cost
-        n_sync = out.counter("client.sync_writes")
-        n_plain = out.counter("client.writes")
-        total = n_sync + n_plain
-        blended = 0.0
-        if total:
-            blended = (
-                (latency if latency == latency else 0.0) * n_plain
-                + (sync_latency if sync_latency == sync_latency else 0.0)
-                * n_sync
-            ) / total
+    points = [(fraction, d, p, iterations) for fraction in fractions]
+    for fraction, (blended, invalidations) in zip(
+        fractions, sweep(points, _coherence_point)
+    ):
         series.add(fraction, blended)
-        inval_series.add(
-            fraction, float(out.counter("cache.invalidations_received"))
-        )
+        inval_series.add(fraction, invalidations)
     result.notes = "coherence costs a round trip per covered write"
     return result
+
+
+def _global_cache_point(
+    global_cache: bool, pagecache: int, blocks: tuple[int, ...]
+) -> float:
+    """Second-node re-read time for one (global_cache, pagecache) point."""
+    config = ClusterConfig(
+        compute_nodes=2,
+        iod_nodes=2,
+        caching=True,
+        cache=CacheConfig(global_cache=global_cache),
+        pagecache_blocks=pagecache,
+    )
+    cluster = Cluster(config)
+    a = cluster.client("node0")
+    b = cluster.client("node1")
+
+    def app(env):
+        f = yield from a.open("/g")
+        for blk in blocks:
+            yield from a.read(f, blk * 4096, 4096)
+        t0 = env.now
+        for blk in blocks:
+            yield from b.read(f, blk * 4096, 4096)
+        return env.now - t0
+
+    proc = cluster.env.process(app(cluster.env))
+    return cluster.env.run(until=proc)
 
 
 def run_global_cache_experiment(
@@ -97,40 +134,55 @@ def run_global_cache_experiment(
     )
     local_series = result.new_series("local cache only")
     global_series = result.new_series("with global cache")
-    blocks = [7, 91, 23, 55, 3, 78, 41, 66, 12, 99, 30, 84][:n_blocks_touched]
+    blocks = tuple(
+        [7, 91, 23, 55, 3, 78, 41, 66, 12, 99, 30, 84][:n_blocks_touched]
+    )
 
-    def scenario(global_cache: bool, pagecache: int) -> float:
-        config = ClusterConfig(
-            compute_nodes=2,
-            iod_nodes=2,
-            caching=True,
-            cache=CacheConfig(global_cache=global_cache),
-            pagecache_blocks=pagecache,
-        )
-        cluster = Cluster(config)
-        a = cluster.client("node0")
-        b = cluster.client("node1")
-
-        def app(env):
-            f = yield from a.open("/g")
-            for blk in blocks:
-                yield from a.read(f, blk * 4096, 4096)
-            t0 = env.now
-            for blk in blocks:
-                yield from b.read(f, blk * 4096, 4096)
-            return env.now - t0
-
-        proc = cluster.env.process(app(cluster.env))
-        return cluster.env.run(until=proc)
-
+    points = []
     for pagecache in pagecache_blocks:
-        local_series.add(pagecache, scenario(False, pagecache))
-        global_series.add(pagecache, scenario(True, pagecache))
+        points.append((False, pagecache, blocks))
+        points.append((True, pagecache, blocks))
+    values = iter(sweep(points, _global_cache_point))
+    for pagecache in pagecache_blocks:
+        local_series.add(pagecache, next(values))
+        global_series.add(pagecache, next(values))
     result.notes = (
         "peer hits replace disk seeks; with warm iod memory the two "
         "paths cost about the same"
     )
     return result
+
+
+def _straggler_point(caching: bool, slowdown: float) -> float:
+    """Steady-state re-scan time with one degraded iod disk."""
+    working_set = 768 * 1024
+    chunk = 64 * 1024
+    config = ClusterConfig(
+        compute_nodes=1,
+        iod_nodes=2,
+        caching=caching,
+        pagecache_blocks=64,  # 256 KB of server memory per iod
+    )
+    cluster = Cluster(config)
+    disk = cluster.iods[0].node.disk
+    assert disk is not None
+    disk.transfer_bytes_per_s /= slowdown
+    disk.avg_seek_s *= slowdown
+    client = cluster.client("node0")
+
+    def app(env):
+        f = yield from client.open("/straggler/ws")
+        # pass 1: populate (unmeasured)
+        for pos in range(0, working_set, chunk):
+            yield from client.read(f, pos, chunk)
+        t0 = env.now
+        for _pass in range(3):  # passes 2-4: the steady state
+            for pos in range(0, working_set, chunk):
+                yield from client.read(f, pos, chunk)
+        return env.now - t0
+
+    proc = cluster.env.process(app(cluster.env))
+    return cluster.env.run(until=proc)
 
 
 def run_straggler_experiment(
@@ -156,45 +208,46 @@ def run_straggler_experiment(
     )
     plain_series = result.new_series("no caching")
     cached_series = result.new_series("caching")
-    working_set = 768 * 1024
-    chunk = 64 * 1024
 
-    def scenario(caching: bool, slowdown: float) -> float:
-        config = ClusterConfig(
-            compute_nodes=1,
-            iod_nodes=2,
-            caching=caching,
-            pagecache_blocks=64,  # 256 KB of server memory per iod
-        )
-        cluster = Cluster(config)
-        disk = cluster.iods[0].node.disk
-        assert disk is not None
-        disk.transfer_bytes_per_s /= slowdown
-        disk.avg_seek_s *= slowdown
-        client = cluster.client("node0")
-
-        def app(env):
-            f = yield from client.open("/straggler/ws")
-            # pass 1: populate (unmeasured)
-            for pos in range(0, working_set, chunk):
-                yield from client.read(f, pos, chunk)
-            t0 = env.now
-            for _pass in range(3):  # passes 2-4: the steady state
-                for pos in range(0, working_set, chunk):
-                    yield from client.read(f, pos, chunk)
-            return env.now - t0
-
-        proc = cluster.env.process(app(cluster.env))
-        return cluster.env.run(until=proc)
-
+    points = []
     for slowdown in slowdowns:
-        plain_series.add(slowdown, scenario(False, slowdown))
-        cached_series.add(slowdown, scenario(True, slowdown))
+        points.append((False, slowdown))
+        points.append((True, slowdown))
+    values = iter(sweep(points, _straggler_point))
+    for slowdown in slowdowns:
+        plain_series.add(slowdown, next(values))
+        cached_series.add(slowdown, next(values))
     result.notes = (
         "re-scans hit the slow disk without the client cache; with it "
         "they never leave the node"
     )
     return result
+
+
+def _readahead_point(
+    readahead: bool, think_s: float, chunks: int, chunk_bytes: int
+) -> float:
+    """Sequential-scan time for one (readahead, think time) point."""
+    config = ClusterConfig(
+        compute_nodes=1,
+        iod_nodes=1,
+        caching=True,
+        cache=CacheConfig(readahead=readahead),
+    )
+    cluster = Cluster(config)
+    client = cluster.client("node0")
+
+    def app(env):
+        f = yield from client.open("/scan")
+        t0 = env.now
+        for i in range(chunks):
+            yield from client.read(f, i * chunk_bytes, chunk_bytes)
+            if think_s:
+                yield from cluster.node("node0").compute(think_s)
+        return env.now - t0
+
+    proc = cluster.env.process(app(cluster.env))
+    return cluster.env.run(until=proc)
 
 
 def run_readahead_experiment(
@@ -213,30 +266,13 @@ def run_readahead_experiment(
     plain_series = result.new_series("no readahead")
     ra_series = result.new_series("readahead")
 
-    def scan(readahead: bool, think_s: float) -> float:
-        config = ClusterConfig(
-            compute_nodes=1,
-            iod_nodes=1,
-            caching=True,
-            cache=CacheConfig(readahead=readahead),
-        )
-        cluster = Cluster(config)
-        client = cluster.client("node0")
-
-        def app(env):
-            f = yield from client.open("/scan")
-            t0 = env.now
-            for i in range(chunks):
-                yield from client.read(f, i * chunk_bytes, chunk_bytes)
-                if think_s:
-                    yield from cluster.node("node0").compute(think_s)
-            return env.now - t0
-
-        proc = cluster.env.process(app(cluster.env))
-        return cluster.env.run(until=proc)
-
+    points = []
     for think_s in think_times_s:
-        plain_series.add(think_s, scan(False, think_s))
-        ra_series.add(think_s, scan(True, think_s))
+        points.append((False, think_s, chunks, chunk_bytes))
+        points.append((True, think_s, chunks, chunk_bytes))
+    values = iter(sweep(points, _readahead_point))
+    for think_s in think_times_s:
+        plain_series.add(think_s, next(values))
+        ra_series.add(think_s, next(values))
     result.notes = "prefetch overlaps the next chunk's fetch with compute"
     return result

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.cluster.config import ClusterConfig
 from repro.experiments.common import ExperimentResult, sweep_sizes
+from repro.experiments.parallel import sweep
 from repro.workload import MicroBenchParams, run_instances
 
 
@@ -46,6 +47,16 @@ def run_fig4(
 ) -> tuple[ExperimentResult, ExperimentResult]:
     """Returns (fig4a_reads, fig4b_writes)."""
     sizes = sweep_sizes(quick)
+    points = []
+    for _panel, mode in (("fig4a", "read"), ("fig4b", "write")):
+        for d in sizes:
+            # Keep per-point simulated work bounded: fewer loop
+            # iterations at the largest request sizes (the paper holds
+            # the loop count user-configurable).
+            iterations = 32 if d <= 262144 else (8 if quick else 16)
+            for caching in (True, False):
+                points.append((d, mode, caching, p, iterations))
+    values = iter(sweep(points, _one_point))
     results = []
     for panel, mode in (("fig4a", "read"), ("fig4b", "write")):
         result = ExperimentResult(
@@ -60,12 +71,8 @@ def run_fig4(
         with_cache = result.new_series("Caching")
         without = result.new_series("No Caching")
         for d in sizes:
-            # Keep per-point simulated work bounded: fewer loop
-            # iterations at the largest request sizes (the paper holds
-            # the loop count user-configurable).
-            iterations = 32 if d <= 262144 else (8 if quick else 16)
-            with_cache.add(d, _one_point(d, mode, True, p, iterations))
-            without.add(d, _one_point(d, mode, False, p, iterations))
+            with_cache.add(d, next(values))
+            without.add(d, next(values))
         results.append(result)
     results[0].notes = (
         "l=0: every request misses; caching should track no-caching "

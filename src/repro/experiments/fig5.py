@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.cluster.config import ClusterConfig
 from repro.experiments.common import ExperimentResult, sweep_sizes
+from repro.experiments.parallel import sweep
 from repro.workload import MicroBenchParams, run_instances
 
 
@@ -38,6 +39,13 @@ def run_fig5(
 ) -> tuple[ExperimentResult, ExperimentResult]:
     """Returns (fig5a_reads, fig5b_writes)."""
     sizes = sweep_sizes(quick)
+    points = []
+    for mode in ("read", "write"):
+        for d in sizes:
+            iterations = 32 if d <= 262144 else 16
+            for caching in (True, False):
+                points.append((d, mode, caching, p, iterations))
+    values = iter(sweep(points, _one_point))
     results = []
     for panel, mode in (("fig5a", "read"), ("fig5b", "write")):
         result = ExperimentResult(
@@ -51,9 +59,8 @@ def run_fig5(
         with_cache = result.new_series("Caching")
         without = result.new_series("No Caching")
         for d in sizes:
-            iterations = 32 if d <= 262144 else 16
-            with_cache.add(d, _one_point(d, mode, True, p, iterations))
-            without.add(d, _one_point(d, mode, False, p, iterations))
+            with_cache.add(d, next(values))
+            without.add(d, next(values))
         results.append(result)
     results[0].notes = "l=1: requests hit the cache; wins grow with d."
     results[1].notes = "l=1 writes: re-dirtying cached blocks is pure memcpy."

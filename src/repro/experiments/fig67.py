@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.cluster.config import ClusterConfig
 from repro.experiments.common import ExperimentResult, sweep_sizes
+from repro.experiments.parallel import sweep
 from repro.workload import MicroBenchParams, run_instances
 
 SHARING_LEVELS = (0.25, 0.50, 0.75, 1.00)
@@ -59,6 +60,15 @@ def _run_figure(
     fig_id: str, p: int, quick: bool, total_bytes: int
 ) -> list[ExperimentResult]:
     sizes = sweep_sizes(quick)
+    points = []
+    for locality, _panel in LOCALITY_PANELS:
+        for d in sizes:
+            for s in SHARING_LEVELS:
+                points.append((p, d, locality, s, True, total_bytes))
+            # The no-caching version is insensitive to s ("the original
+            # version will always issue network requests"): one line.
+            points.append((p, d, locality, 0.5, False, total_bytes))
+    values = iter(sweep(points, _run_pair))
     results = []
     for locality, panel in LOCALITY_PANELS:
         result = ExperimentResult(
@@ -77,12 +87,8 @@ def _run_figure(
         no_cache = result.new_series("No Caching")
         for d in sizes:
             for s in SHARING_LEVELS:
-                cache_series[s].add(
-                    d, _run_pair(p, d, locality, s, True, total_bytes)
-                )
-            # The no-caching version is insensitive to s ("the original
-            # version will always issue network requests"): one line.
-            no_cache.add(d, _run_pair(p, d, locality, 0.5, False, total_bytes))
+                cache_series[s].add(d, next(values))
+            no_cache.add(d, next(values))
         results.append(result)
     return results
 

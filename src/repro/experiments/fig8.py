@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.cluster.config import ClusterConfig
 from repro.experiments.common import ExperimentResult, sweep_sizes
+from repro.experiments.parallel import sweep
 from repro.workload import MicroBenchParams, run_instances
 
 SHARING_LEVELS = (0.25, 0.50, 0.75, 1.00)
@@ -72,6 +73,14 @@ def run_fig8(
     """Returns [fig8a, fig8b, fig8c] for l = 0 / 0.5 / 1.0."""
     sizes = sweep_sizes(quick)
     sharings = (0.25, 1.00) if quick else SHARING_LEVELS
+    points = []
+    for locality, _panel in LOCALITY_PANELS:
+        for d in sizes:
+            for s in sharings:
+                points.append(("cache-colocated", d, locality, s, total_bytes))
+            points.append(("nocache-spread", d, locality, 0.5, total_bytes))
+            points.append(("nocache-colocated", d, locality, 0.5, total_bytes))
+    values = iter(sweep(points, _run_variant))
     results = []
     for locality, panel in LOCALITY_PANELS:
         result = ExperimentResult(
@@ -91,16 +100,8 @@ def run_fig8(
         coloc = result.new_series("No Caching (2 apps on same nodes)")
         for d in sizes:
             for s in sharings:
-                cache_series[s].add(
-                    d,
-                    _run_variant("cache-colocated", d, locality, s, total_bytes),
-                )
-            spread.add(
-                d, _run_variant("nocache-spread", d, locality, 0.5, total_bytes)
-            )
-            coloc.add(
-                d,
-                _run_variant("nocache-colocated", d, locality, 0.5, total_bytes),
-            )
+                cache_series[s].add(d, next(values))
+            spread.add(d, next(values))
+            coloc.add(d, next(values))
         results.append(result)
     return results

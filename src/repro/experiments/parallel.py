@@ -1,0 +1,113 @@
+"""Parallel execution of independent experiment sweep points.
+
+Every figure reproduction simulates a whole cluster per data point and
+the points are mutually independent, so the sweep is embarrassingly
+parallel: :func:`sweep` fans the points out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (one isolated
+simulation per worker process — no shared state, so parallel results
+are bit-identical to serial ones) and returns results in point order.
+
+Worker count resolution, first match wins:
+
+1. the ``max_workers`` argument, when not ``None``;
+2. the ``REPRO_SWEEP_WORKERS`` environment variable;
+3. ``os.cpu_count()``.
+
+The count is clamped to the number of points, and a count of one runs
+serially in-process — no executor, no forking — which is both the
+explicit opt-out (``REPRO_SWEEP_WORKERS=1``) and the automatic
+degradation on single-core hosts.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import typing as _t
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+#: A sweep point: the positional arguments of one point function call.
+Point = tuple
+
+
+class SweepPointError(RuntimeError):
+    """One sweep point failed.
+
+    Carries which point (``index`` into the sweep, plus the ``point``
+    arguments themselves) so a long sweep's failure is attributable;
+    the worker's original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, index: int, point: Point) -> None:
+        super().__init__(
+            f"sweep point #{index} {point!r} raised; see __cause__"
+        )
+        self.index = index
+        self.point = point
+
+
+def resolve_workers(
+    max_workers: int | None = None, n_points: int | None = None
+) -> int:
+    """The effective worker count for a sweep (always >= 1)."""
+    if max_workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if env:
+            try:
+                max_workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR}={env!r} is not an integer"
+                ) from None
+        else:
+            max_workers = os.cpu_count() or 1
+    workers = max(1, int(max_workers))
+    if n_points is not None:
+        workers = min(workers, max(1, n_points))
+    return workers
+
+
+def sweep(
+    points: _t.Sequence[Point],
+    fn: _t.Callable[..., _t.Any],
+    max_workers: int | None = None,
+) -> list[_t.Any]:
+    """Run ``fn(*point)`` for every point; results in point order.
+
+    ``fn`` must be a module-level callable and every point must be
+    picklable (ProcessPoolExecutor requirements).  Results are ordered
+    by point index regardless of completion order, so parallel and
+    serial sweeps are interchangeable.  If a point raises, the sweep
+    stops, outstanding points are cancelled, and a
+    :class:`SweepPointError` identifying the failing point is raised
+    from the worker's exception.
+    """
+    pts = [tuple(p) for p in points]
+    if not pts:
+        return []
+    workers = resolve_workers(max_workers, len(pts))
+    if workers == 1:
+        results = []
+        for index, point in enumerate(pts):
+            try:
+                results.append(fn(*point))
+            except Exception as exc:
+                raise SweepPointError(index, point) from exc
+        return results
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers
+    ) as pool:
+        futures = [pool.submit(fn, *point) for point in pts]
+        results = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except concurrent.futures.CancelledError:  # pragma: no cover
+                raise
+            except Exception as exc:
+                for pending in futures:
+                    pending.cancel()
+                raise SweepPointError(index, pts[index]) from exc
+    return results

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.cluster.config import CacheConfig, ClusterConfig
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import sweep
 from repro.workload import MicroBenchParams, run_instances
 
 
@@ -67,10 +68,12 @@ def run_cache_size_sweep(
         y_label="speedup (x)",
     )
     series = result.new_series("speedup")
-    baseline = _two_instance_makespan(None, caching=False)
-    for size_kb in sizes_kb:
-        cache = CacheConfig(size_bytes=size_kb * 1024)
-        t = _two_instance_makespan(cache, caching=True)
+    points = [(None, False)] + [
+        (CacheConfig(size_bytes=size_kb * 1024), True) for size_kb in sizes_kb
+    ]
+    values = sweep(points, _two_instance_makespan)
+    baseline = values[0]
+    for size_kb, t in zip(sizes_kb, values[1:]):
         series.add(size_kb, baseline / t, seconds=t)
     result.notes = f"no-caching baseline: {baseline:.4f}s"
     return result
@@ -88,13 +91,15 @@ def run_multiprogramming_sweep(
         y_label="speedup (x)",
     )
     series = result.new_series("speedup")
+    points = []
     for degree in degrees:
-        cached = _two_instance_makespan(
-            CacheConfig(), caching=True, n_instances=degree
-        )
-        plain = _two_instance_makespan(
-            None, caching=False, n_instances=degree
-        )
+        common = (2, 65536, 2 * 2**20, 0.5, 0.5, degree)
+        points.append((CacheConfig(), True) + common)
+        points.append((None, False) + common)
+    values = iter(sweep(points, _two_instance_makespan))
+    for degree in degrees:
+        cached = next(values)
+        plain = next(values)
         series.add(degree, plain / cached, cached_s=cached, plain_s=plain)
     return result
 
@@ -111,9 +116,8 @@ def run_block_size_sweep(
         y_label="total time (seconds)",
     )
     series = result.new_series("caching")
-    for bs in block_sizes:
-        cache = CacheConfig(block_size=bs)
-        # stripe must stay a multiple of the block size; 64 KB is.
-        t = _two_instance_makespan(cache, caching=True)
+    # stripe must stay a multiple of the block size; 64 KB is.
+    points = [(CacheConfig(block_size=bs), True) for bs in block_sizes]
+    for bs, t in zip(block_sizes, sweep(points, _two_instance_makespan)):
         series.add(bs, t)
     return result

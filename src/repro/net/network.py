@@ -6,7 +6,7 @@ import typing as _t
 
 from repro.net.fabric import Fabric, SwitchedFabric
 from repro.net.message import Message
-from repro.sim import Environment, Process, Store
+from repro.sim import Environment, Event, Process, Store, Timeout
 
 
 class Network:
@@ -49,17 +49,57 @@ class Network:
         return (node, port) in self._endpoints
 
     # -- transport ---------------------------------------------------------
-    def send(self, message: Message, dst_port: int) -> Process:
+    def send(self, message: Message, dst_port: int) -> Event:
         """Asynchronously transmit ``message`` to ``(message.dst, port)``.
 
-        Returns the transmission process; yield it for a blocking send
-        (completes when the message has been enqueued at the receiver).
+        Returns an event firing with the message once it has been
+        enqueued at the receiver; yield it for a blocking send.
         """
         inbox = self.endpoint(message.dst, dst_port)  # fail fast
-        return self.env.process(
+        return self.deliver(message, inbox)
+
+    def deliver(self, message: Message, inbox: Store) -> Event:
+        """Transmit ``message`` into ``inbox``; returns the done event.
+
+        The common cases — loopback, and a single-frame transfer over
+        idle switched-fabric ports — are driven entirely by scheduled
+        callbacks instead of spawning a transmission :class:`Process`
+        per message, which is the simulator's per-message hot path.
+        Contended or multi-frame transfers fall back to the process.
+        """
+        env = self.env
+        if message.src == message.dst:
+            done = Event(env)
+            Timeout(env, self.loopback_latency_s).callbacks.append(
+                lambda _ev: self._finish_delivery(message, inbox, done)
+            )
+            return done
+        fast = getattr(self.fabric, "fast_transmit", None)
+        if fast is not None:
+            done = Event(env)
+            if fast(
+                message.src,
+                message.dst,
+                message.wire_bytes,
+                lambda: self._finish_delivery(message, inbox, done),
+            ):
+                return done
+        return env.process(
             self._transmit(message, inbox),
             name=f"xmit-{message.kind}-{message.msg_id}",
         )
+
+    def _finish_delivery(
+        self, message: Message, inbox: Store, done: Event
+    ) -> None:
+        """Enqueue at the receiver, then fire ``done`` (waiting for the
+        inbox to admit the message if it is at capacity)."""
+
+        def _admitted(_ev: Event) -> None:
+            self.messages_delivered += 1
+            done.succeed(message)
+
+        inbox.put(message).add_callback(_admitted)
 
     def _transmit(self, message: Message, inbox: Store) -> _t.Generator:
         if message.src == message.dst:

@@ -21,7 +21,7 @@ import typing as _t
 
 from repro.net.message import Message
 from repro.net.network import Network
-from repro.sim import Environment, Lock, Process, Store
+from repro.sim import Environment, Event, Lock, Process, Store
 
 _conn_ids = itertools.count(1)
 
@@ -57,12 +57,12 @@ class Endpoint:
         """The simulation environment."""
         return self.conn.env
 
-    def send(self, message: Message) -> Process:
+    def send(self, message: Message) -> Event:
         """Transmit ``message`` to the peer endpoint.
 
-        Returns the transmission process.  ``yield`` it to block until
-        the peer has the message queued, or fire-and-forget — FIFO
-        order is preserved either way by the per-direction lock.
+        Returns an event firing once the peer has the message queued.
+        ``yield`` it to block, or fire-and-forget — FIFO order is
+        preserved either way by the per-direction lock.
         """
         return self.conn._send(self.role, message)
 
@@ -101,7 +101,7 @@ class Connection:
         self.server = Endpoint(self, SERVER)
         self.closed = False
 
-    def _send(self, from_role: str, message: Message) -> Process:
+    def _send(self, from_role: str, message: Message) -> Event:
         if self.closed:
             raise RuntimeError("send on closed connection")
         to_role = SERVER if from_role == CLIENT else CLIENT
@@ -109,11 +109,21 @@ class Connection:
         message.dst = self.client_node if to_role == CLIENT else self.server_node
         inbox = self._inbox[to_role]
         lock = self._send_lock[from_role]
+        if not lock._holders and not lock._waiting:
+            # Uncontended direction (the overwhelmingly common case):
+            # take the lock synchronously and hand the message straight
+            # to the network's callback-driven delivery — no ordering
+            # process needed, FIFO is trivially preserved because the
+            # lock is held until delivery completes.
+            req = lock.request()
+            done = self.network.deliver(message, inbox)
+            done.add_callback(lambda _ev: lock.release(req))
+            return done
 
         def _ordered_send() -> _t.Generator:
             with lock.request() as req:
                 yield req
-                yield self.env.process(self.network._transmit(message, inbox))
+                yield self.network.deliver(message, inbox)
             return message
 
         return self.env.process(

@@ -11,6 +11,7 @@ it, which is how errors propagate through simulated daemons.
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush as _heappush
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment
@@ -78,7 +79,11 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined env.schedule(self): zero-delay normal-priority pushes
+        # are the single most common scheduling operation.
+        env = self.env
+        env._seq += 1
+        _heappush(env._heap, (env._now, 1, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -93,7 +98,9 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._seq += 1
+        _heappush(env._heap, (env._now, 1, env._seq, self))
         return self
 
     # -- hookup ----------------------------------------------------------
@@ -135,11 +142,15 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Inlined Event.__init__ + env.schedule: a Timeout is born
+        # triggered, so skip the PENDING dance entirely.
+        self.env = env
+        self.callbacks = []
         self.delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        env._seq += 1
+        _heappush(env._heap, (env._now + delay, 1, env._seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush as _heappush
 
 from repro.sim.events import Event, Interrupt
 
@@ -47,8 +48,9 @@ class Process(Event):
         start = Event(env)
         start._ok = True
         start._value = None
-        env.schedule(start, priority=env.PRIORITY_URGENT)
-        start.add_callback(self._resume)
+        start.callbacks.append(self._resume)
+        env._seq += 1
+        _heappush(env._heap, (env._now, 0, env._seq, start))
 
     @property
     def is_alive(self) -> bool:

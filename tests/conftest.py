@@ -2,12 +2,29 @@
 
 from __future__ import annotations
 
+import itertools
 import typing as _t
 
 import pytest
 
+import repro.net.message
+import repro.net.sockets
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import CacheConfig, ClusterConfig
+
+
+@pytest.fixture(autouse=True)
+def _reset_module_counters():
+    """Reset module-level id counters between tests.
+
+    Message and connection ids are drawn from module-global
+    ``itertools.count`` objects, so without this a test's observed ids
+    depend on which tests ran before it — assertions on ids (and
+    golden outputs embedding them) would be order-dependent.
+    """
+    repro.net.message._msg_ids = itertools.count(1)
+    repro.net.sockets._conn_ids = itertools.count(1)
+    yield
 
 
 def make_cluster(

@@ -1,0 +1,79 @@
+"""The parallel sweep runner: ordering, equivalence, failure paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import (
+    WORKERS_ENV_VAR,
+    SweepPointError,
+    resolve_workers,
+    sweep,
+)
+from repro.experiments.sensitivity import run_cache_size_sweep
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def test_resolve_workers_precedence(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+    assert resolve_workers() == 3
+    assert resolve_workers(max_workers=2) == 2  # argument beats env
+    monkeypatch.delenv(WORKERS_ENV_VAR)
+    assert resolve_workers() >= 1  # falls back to cpu count
+    assert resolve_workers(max_workers=8, n_points=2) == 2  # clamped
+    assert resolve_workers(max_workers=0) == 1  # floor of one
+
+
+def test_resolve_workers_rejects_garbage(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV_VAR, "lots")
+    with pytest.raises(ValueError, match=WORKERS_ENV_VAR):
+        resolve_workers()
+
+
+def test_sweep_preserves_point_order():
+    points = [(x,) for x in range(20)]
+    assert sweep(points, _square, max_workers=1) == [x * x for x in range(20)]
+    assert sweep(points, _square, max_workers=4) == [x * x for x in range(20)]
+
+
+def test_sweep_empty():
+    assert sweep([], _square) == []
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_sweep_point_failure_is_attributed(workers):
+    points = [(1,), (2,), (3,), (4,)]
+    with pytest.raises(SweepPointError) as excinfo:
+        sweep(points, _fail_on_three, max_workers=workers)
+    assert excinfo.value.index == 2
+    assert excinfo.value.point == (3,)
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_parallel_sweep_matches_serial(monkeypatch):
+    """An actual experiment driver yields bit-identical series with
+    max_workers=1 vs max_workers=4 (isolated simulations per point)."""
+
+    def run_with(workers):
+        monkeypatch.setenv(WORKERS_ENV_VAR, str(workers))
+        return run_cache_size_sweep(sizes_kb=(600,))
+
+    serial = run_with(1)
+    parallel = run_with(4)
+    assert [s.label for s in serial.series] == [
+        s.label for s in parallel.series
+    ]
+    for s_series, p_series in zip(serial.series, parallel.series):
+        assert [(pt.x, pt.y) for pt in s_series.points] == [
+            (pt.x, pt.y) for pt in p_series.points
+        ]
+    assert serial.notes == parallel.notes
