@@ -1,0 +1,74 @@
+"""Determinism checking: schedule trace hashes for same-seed runs.
+
+Simulator credibility rests on reproducibility: the same seed must
+produce the same schedule, bit for bit, whether the run happens in
+this process or inside a parallel sweep worker
+(:mod:`repro.experiments.parallel`).  The engine can fold every
+processed event — sequence number, timestamp, event identity — into a
+BLAKE2b accumulator (:meth:`repro.sim.Environment.enable_trace_hash`);
+this module packages that into ready-to-use checks.
+
+The module-level :func:`fig4_point_trace_hash` is deliberately a
+plain top-level function so it is picklable and can be fanned out
+through :func:`repro.experiments.parallel.sweep`, proving that worker
+processes reproduce the serial schedule exactly.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+def traced_run(
+    run: _t.Callable[["_t.Any"], _t.Any], env: "_t.Any"
+) -> tuple[_t.Any, str]:
+    """Enable trace hashing on ``env``, call ``run(env)``, return
+    ``(result, trace_hash)``."""
+    env.enable_trace_hash()
+    result = run(env)
+    return result, env.trace_hash()
+
+
+def fig4_point_trace_hash(
+    d: int = 4096,
+    mode: str = "read",
+    p: int = 2,
+    iterations: int = 8,
+    seed: int = 1234,
+) -> str:
+    """Trace hash of one quick fig4-style micro-benchmark point.
+
+    Builds the same cluster + micro-benchmark combination the figure-4
+    sweep runs per point (caching on, locality 0) with the given seed,
+    runs it with trace hashing enabled, and returns the schedule
+    digest.  Two calls with identical arguments must return identical
+    digests — in this process, across processes, and through the
+    parallel sweep runner.
+    """
+    from repro.cluster.config import ClusterConfig
+    from repro.workload import MicroBenchParams, run_instances
+
+    config = ClusterConfig(compute_nodes=p, iod_nodes=p, caching=True)
+    params = MicroBenchParams(
+        nodes=config.compute_node_names(),
+        request_size=d,
+        iterations=iterations,
+        mode=mode,
+        locality=0.0,
+        partition_bytes=2 * 2**20,
+        seed=seed,
+    )
+    import os
+
+    from repro.sim.engine import TRACE_HASH_ENV_VAR
+
+    previous = os.environ.get(TRACE_HASH_ENV_VAR)
+    os.environ[TRACE_HASH_ENV_VAR] = "1"
+    try:
+        outcome = run_instances(config, [params])
+    finally:
+        if previous is None:
+            os.environ.pop(TRACE_HASH_ENV_VAR, None)
+        else:
+            os.environ[TRACE_HASH_ENV_VAR] = previous
+    return outcome.cluster.env.trace_hash()

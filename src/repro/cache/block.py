@@ -24,7 +24,7 @@ import typing as _t
 from repro.cache.ranges import ByteRanges
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim import Environment, Event
+    from repro.sim import Event
 
 
 class BlockState(enum.Enum):

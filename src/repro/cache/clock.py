@@ -9,8 +9,6 @@ to clean blocks over dirty ones."
 
 from __future__ import annotations
 
-import typing as _t
-
 from repro.cache.block import BlockState, CacheBlock
 
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import typing as _t
-
 from repro.cache.block import BlockState, CacheBlock
 
 

@@ -11,7 +11,6 @@ and every drop below the low watermark pokes the harvester.
 from __future__ import annotations
 
 import typing as _t
-from collections import deque
 
 from repro.cache.block import BlockState, CacheBlock
 from repro.sim import Environment, Store

@@ -15,7 +15,6 @@ and assert the illegal ones fail.
 from __future__ import annotations
 
 import enum
-import typing as _t
 
 from repro.sim import Environment
 

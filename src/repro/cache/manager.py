@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import typing as _t
 
+from repro.analysis.sanitize import atomic_section, maybe_install
 from repro.cache.block import BlockKey, BlockState, CacheBlock
 from repro.cache.clock import ClockPolicy, ExactLRUPolicy
 from repro.cache.dirtylist import DirtyList
@@ -55,6 +56,11 @@ class BufferManager:
         else:
             self.policy = ExactLRUPolicy()
         self._inflight: dict[BlockKey, _t.Any] = {}
+        #: Opt-in runtime checker (REPRO_SANITIZE=1): validates the
+        #: block-accounting invariant at scheduler-step granularity
+        #: and arms the atomic_section race detector.  None in
+        #: normal runs — the structures run their unwrapped methods.
+        self.sanitizer = maybe_install(self)
 
     # -- residency -------------------------------------------------------------
     @property
@@ -105,11 +111,17 @@ class BufferManager:
                 del self._inflight[key]
                 reservation.succeed(None)
                 raise
-            block.assign(key, self.env.event())
-            self.table.insert(block)
-            self.policy.admit(block)
-            del self._inflight[key]
-            reservation.succeed(block)
+            # The allocation commit must stay atomic (no yields): a
+            # second requester probing between insert and the
+            # reservation hand-off would see half-committed state.
+            with atomic_section(
+                self.table, self.policy, label="get_or_allocate.commit"
+            ):
+                block.assign(key, self.env.event())
+                self.table.insert(block)
+                self.policy.admit(block)
+                del self._inflight[key]
+                reservation.succeed(block)
             self.metrics.inc(f"{self.name}.allocations")
             return block, False
 
@@ -139,11 +151,20 @@ class BufferManager:
             raise ValueError(f"evict of pinned block {block!r}")
         if block.state is BlockState.DIRTY and not force:
             raise ValueError(f"evict of dirty block {block!r} without force")
-        self.policy.forget(block)
-        self.table.remove(block)
-        self.dirtylist.discard(block)
-        block.reset()
-        self.freelist.release(block)
+        # Eviction walks four structures; a yield between them would
+        # leave a frame visible in none (or two) of them.
+        with atomic_section(
+            self.table,
+            self.freelist,
+            self.dirtylist,
+            self.policy,
+            label="evict",
+        ):
+            self.policy.forget(block)
+            self.table.remove(block)
+            self.dirtylist.discard(block)
+            block.reset()
+            self.freelist.release(block)
         self.metrics.inc(f"{self.name}.evictions")
 
     def invalidate(self, key: BlockKey) -> bool:

@@ -131,8 +131,6 @@ class CacheModule:
 
     def stats(self) -> dict[str, _t.Any]:
         """Point-in-time snapshot of this node's cache state."""
-        from repro.cache.block import BlockState
-
         states: dict[str, int] = {}
         for block in self.manager.blocks:
             states[block.state.value] = states.get(block.state.value, 0) + 1
@@ -555,6 +553,8 @@ class CacheModule:
                 resident = True
             else:
                 block, resident = yield from self.manager.get_or_allocate(key)
+            # CacheBlock.write is synchronous (not the yielding
+            # CacheModule.write that shares its name) — no yield from.
             block.write(start, end, piece)
             self.manager.note_write(block)
             if not resident:

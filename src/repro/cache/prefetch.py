@@ -18,7 +18,6 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from repro.cache.block import BlockState
 from repro.pvfs.protocol import FileHandle
 
 if _t.TYPE_CHECKING:  # pragma: no cover

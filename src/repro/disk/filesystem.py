@@ -11,8 +11,6 @@ was never written reads back as zeros, like a sparse file.
 
 from __future__ import annotations
 
-import typing as _t
-
 BLOCK_SIZE = 4096
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import typing as _t
 
-from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.common import ExperimentResult
 
 #: Distinct glyphs assigned to series in order.
 GLYPHS = "ox+*#@%&"

@@ -6,7 +6,18 @@ import dataclasses
 import itertools
 import typing as _t
 
+from repro.analysis.reset import register_reset
+
 _msg_ids = itertools.count(1)
+
+
+def _reset_msg_ids() -> None:
+    """Test-reset hook: message ids restart at 1 (see RPL004)."""
+    global _msg_ids
+    _msg_ids = itertools.count(1)
+
+
+register_reset(_reset_msg_ids)
 
 
 @dataclasses.dataclass

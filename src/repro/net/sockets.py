@@ -19,11 +19,21 @@ from __future__ import annotations
 import itertools
 import typing as _t
 
+from repro.analysis.reset import register_reset
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim import Environment, Event, Lock, Process, Store
 
 _conn_ids = itertools.count(1)
+
+
+def _reset_conn_ids() -> None:
+    """Test-reset hook: connection ids restart at 1 (see RPL004)."""
+    global _conn_ids
+    _conn_ids = itertools.count(1)
+
+
+register_reset(_reset_conn_ids)
 
 CLIENT = "client"
 SERVER = "server"

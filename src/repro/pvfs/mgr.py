@@ -15,7 +15,7 @@ from repro.cluster.node import Node
 from repro.metrics import Metrics
 from repro.net import Message
 from repro.pvfs import protocol
-from repro.pvfs.protocol import FileHandle, OpenRequest
+from repro.pvfs.protocol import FileHandle
 from repro.sim import Process
 
 

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import os
 import typing as _t
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+
+#: Environment variable: when truthy, every new :class:`Environment`
+#: starts with trace hashing enabled (see :meth:`Environment.enable_trace_hash`).
+TRACE_HASH_ENV_VAR = "REPRO_TRACE_HASH"
 
 
 class EmptySchedule(Exception):
@@ -32,7 +38,7 @@ class Environment:
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
 
-    __slots__ = ("_now", "_heap", "_seq", "_active_process")
+    __slots__ = ("_now", "_heap", "_seq", "_active_process", "_step_hooks", "_trace")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -42,6 +48,14 @@ class Environment:
         #: hot scheduling path).
         self._seq = 0
         self._active_process: Process | None = None
+        #: Callables invoked (with this env) after every processed
+        #: event.  Empty in normal runs; the run loop only takes the
+        #: instrumented path when a hook or the trace hash is active,
+        #: so the fast loops stay branch-free.
+        self._step_hooks: list[_t.Callable[["Environment"], None]] = []
+        self._trace: "hashlib._Hash | None" = None
+        if os.environ.get(TRACE_HASH_ENV_VAR, "") not in ("", "0"):
+            self.enable_trace_hash()
 
     # -- clock -----------------------------------------------------------
     @property
@@ -88,6 +102,61 @@ class Environment:
             self._heap, (self._now + delay, priority, self._seq, event)
         )
 
+    # -- instrumentation -------------------------------------------------
+    def add_step_hook(
+        self, hook: _t.Callable[["Environment"], None]
+    ) -> None:
+        """Run ``hook(env)`` after every processed event.
+
+        Installing any hook switches :meth:`run` from the flattened
+        fast loops to the instrumented loop, so hooks cost nothing
+        until the first one is registered.  Used by the runtime
+        sanitizer (:mod:`repro.analysis.sanitize`).
+        """
+        self._step_hooks.append(hook)
+
+    def remove_step_hook(
+        self, hook: _t.Callable[["Environment"], None]
+    ) -> None:
+        """Unregister a hook added with :meth:`add_step_hook`."""
+        self._step_hooks.remove(hook)
+
+    def enable_trace_hash(self) -> None:
+        """Start accumulating a deterministic digest of the schedule.
+
+        Every processed event folds ``(seq, time, event identity)``
+        into a BLAKE2b accumulator; two runs of the same seeded
+        simulation must produce identical digests, whether they run in
+        this process or in a parallel sweep worker.  Event identity is
+        the process name for :class:`Process` events and the class name
+        otherwise — no ``id()``/``hash()`` values, so the digest is
+        stable across interpreter instances.
+        """
+        if self._trace is None:
+            self._trace = hashlib.blake2b(digest_size=16)
+
+    def trace_hash(self) -> str:
+        """Hex digest of the schedule so far (requires enable_trace_hash)."""
+        if self._trace is None:
+            raise RuntimeError(
+                "trace hashing is not enabled on this environment; call "
+                f"enable_trace_hash() or set {TRACE_HASH_ENV_VAR}=1"
+            )
+        return self._trace.hexdigest()
+
+    def _dispatch(self, when: float, seq: int, event: Event) -> None:
+        """Instrumented single-event dispatch (trace + step hooks)."""
+        self._now = when
+        if self._trace is not None:
+            ident = (
+                event.name if isinstance(event, Process)
+                else type(event).__name__
+            )
+            self._trace.update(f"{seq}|{when!r}|{ident}\n".encode())
+        event._process()
+        for hook in self._step_hooks:
+            hook(self)
+
     # -- run loop ----------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -96,9 +165,12 @@ class Environment:
     def step(self) -> None:
         """Process exactly one event, advancing the clock to it."""
         try:
-            when, _prio, _seq, event = heapq.heappop(self._heap)
+            when, _prio, seq, event = heapq.heappop(self._heap)
         except IndexError:
             raise EmptySchedule() from None
+        if self._step_hooks or self._trace is not None:
+            self._dispatch(when, seq, event)
+            return
         self._now = when
         event._process()
 
@@ -122,6 +194,9 @@ class Environment:
                 raise ValueError(
                     f"until={stop_at} is in the past (now={self._now})"
                 )
+
+        if self._step_hooks or self._trace is not None:
+            return self._run_instrumented(stop_at, stop_event)
 
         # The three loop variants below are the peek()/step() loop with
         # the per-event method and property calls flattened out — this
@@ -157,4 +232,35 @@ class Environment:
             when, _prio, _seq, event = pop(heap)
             self._now = when
             event._process()
+        return None
+
+    def _run_instrumented(
+        self, stop_at: float | None, stop_event: Event | None
+    ) -> _t.Any:
+        """The run loop with per-event instrumentation enabled.
+
+        Mirrors the three fast-loop variants exactly (same stop
+        semantics, same event order) but routes every event through
+        :meth:`_dispatch` so the trace hash and step hooks see it.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        if stop_event is not None:
+            while stop_event.callbacks is not None:
+                if not heap:
+                    raise RuntimeError(
+                        "simulation ran out of events before the "
+                        f"requested stop event fired: {stop_event!r}"
+                    )
+                when, _prio, seq, event = pop(heap)
+                self._dispatch(when, seq, event)
+            if stop_event._ok:
+                return stop_event._value
+            raise _t.cast(BaseException, stop_event._value)
+        while heap:
+            if stop_at is not None and heap[0][0] > stop_at:
+                self._now = stop_at
+                return None
+            when, _prio, seq, event = pop(heap)
+            self._dispatch(when, seq, event)
         return None

@@ -20,8 +20,6 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-import numpy as np
-
 from repro.cluster.cluster import Cluster
 from repro.sim import Process
 

@@ -2,28 +2,30 @@
 
 from __future__ import annotations
 
-import itertools
 import typing as _t
 
 import pytest
 
-import repro.net.message
-import repro.net.sockets
+import repro.net.message  # noqa: F401  (registers its reset hook)
+import repro.net.sockets  # noqa: F401  (registers its reset hook)
+from repro.analysis.reset import reset_all
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import CacheConfig, ClusterConfig
 
 
 @pytest.fixture(autouse=True)
 def _reset_module_counters():
-    """Reset module-level id counters between tests.
+    """Reset registered module-level state between tests.
 
     Message and connection ids are drawn from module-global
     ``itertools.count`` objects, so without this a test's observed ids
     depend on which tests ran before it — assertions on ids (and
-    golden outputs embedding them) would be order-dependent.
+    golden outputs embedding them) would be order-dependent.  Every
+    module owning such state registers a hook with
+    :mod:`repro.analysis.reset` (enforced by lint rule RPL004), so one
+    ``reset_all()`` covers them all.
     """
-    repro.net.message._msg_ids = itertools.count(1)
-    repro.net.sockets._conn_ids = itertools.count(1)
+    reset_all()
     yield
 
 

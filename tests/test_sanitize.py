@@ -1,0 +1,130 @@
+"""The runtime sanitizer: installation gating, invariant checking,
+and the atomic-section race detector."""
+
+import pytest
+
+from repro.analysis.sanitize import (
+    InvariantViolation,
+    RaceDiagnostic,
+    atomic_section,
+)
+from tests.conftest import make_cluster, run_app
+
+
+def _manager(cluster, node="node0"):
+    return cluster.cache_modules[node].manager
+
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    cluster = make_cluster(compute_nodes=1, iod_nodes=1)
+    manager = _manager(cluster)
+    assert manager.sanitizer is None
+    # the null section is shared and inert
+    section = atomic_section(manager.table, label="off")
+    with section:
+        pass
+
+
+def test_installed_when_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    cluster = make_cluster(compute_nodes=1, iod_nodes=1)
+    manager = _manager(cluster)
+    assert manager.sanitizer is not None
+    manager.sanitizer.check()  # a fresh cache satisfies the invariant
+
+
+def test_clean_workload_passes_checks(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    monkeypatch.setenv("REPRO_SANITIZE_EVERY", "1")
+    cluster = make_cluster(compute_nodes=1, iod_nodes=1, cache_blocks=8)
+    client = cluster.client("node0")
+
+    def app(env):
+        f = yield from client.open("/san")
+        for i in range(32):
+            yield from client.write(f, (i % 12) * 4096, 4096)
+            yield from client.read(f, (i % 12) * 4096, 4096)
+
+    run_app(cluster, app(cluster.env))
+    sanitizer = _manager(cluster).sanitizer
+    assert sanitizer.checks_run > 100
+    sanitizer.check()
+
+
+def test_invariant_catches_policy_drift(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    cluster = make_cluster(compute_nodes=1, iod_nodes=1)
+    manager = _manager(cluster)
+    # corrupt: the policy starts tracking a frame that is not resident
+    manager.policy.admit(manager.blocks[0])
+    with pytest.raises(InvariantViolation, match="policy out of sync"):
+        manager.sanitizer.check()
+
+
+def test_invariant_catches_dirty_list_drift(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    cluster = make_cluster(compute_nodes=1, iod_nodes=1, cache_blocks=8)
+    client = cluster.client("node0")
+
+    def app(env):
+        f = yield from client.open("/drift")
+        yield from client.write(f, 0, 4096)
+
+    run_app(cluster, app(cluster.env))
+    manager = _manager(cluster)
+    dirty = manager.dirtylist.snapshot()
+    assert dirty, "the write should have left a dirty block"
+    # corrupt: a DIRTY block silently leaves the dirty list
+    manager.dirtylist.discard(dirty[0])
+    with pytest.raises(InvariantViolation, match="not on the dirty list"):
+        manager.sanitizer.check()
+
+
+def test_atomic_section_reports_both_processes(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    # keep the periodic checker quiet; this test is about the race
+    monkeypatch.setenv("REPRO_SANITIZE_EVERY", "1000000")
+    cluster = make_cluster(compute_nodes=1, iod_nodes=1)
+    env = cluster.env
+    manager = _manager(cluster)
+    block = manager.blocks[0]
+
+    def victim(env):
+        with atomic_section(manager.policy, label="crit"):
+            yield env.timeout(1.0)
+
+    def attacker(env):
+        yield env.timeout(0.5)
+        # net no-op mutation: the structure ends consistent, but the
+        # interleaving itself is the bug the section must report
+        manager.policy.admit(block)
+        manager.policy.forget(block)
+
+    proc = env.process(victim(env), name="victim")
+    env.process(attacker(env), name="attacker")
+    with pytest.raises(RaceDiagnostic) as excinfo:
+        env.run(until=proc)
+    diag = excinfo.value
+    assert diag.holder == "victim"
+    assert diag.mutator == "attacker"
+    assert diag.label == "crit"
+    assert "victim" in str(diag) and "attacker" in str(diag)
+
+
+def test_atomic_section_allows_own_mutations(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    monkeypatch.setenv("REPRO_SANITIZE_EVERY", "1000000")
+    cluster = make_cluster(compute_nodes=1, iod_nodes=1)
+    env = cluster.env
+    manager = _manager(cluster)
+    block = manager.blocks[0]
+
+    def worker(env):
+        with atomic_section(manager.policy, label="self-mutation"):
+            manager.policy.admit(block)
+            manager.policy.forget(block)
+            yield env.timeout(1.0)
+
+    proc = env.process(worker(env), name="worker")
+    env.run(until=proc)  # must not raise
