@@ -18,15 +18,20 @@ from repro.cache.manager import BufferManager
 from repro.cluster.node import Node
 from repro.metrics import Metrics
 from repro.net import Message
-from repro.net.rpc import RpcChannel
 from repro.pvfs import protocol
 from repro.pvfs.protocol import FlushBatch, FlushEntry
 from repro.pvfs.striping import StripeLayout
-from repro.sim import Process
+from repro.svc import Service
 
 
-class Flusher:
-    """Periodically ships dirty blocks to the iods' flush ports."""
+class Flusher(Service):
+    """Periodically ships dirty blocks to the iods' flush ports.
+
+    Drain semantics (the :class:`~repro.svc.Service` lifecycle): a
+    ``drain()`` flushes until the dirty list is empty, so tearing a
+    node down afterwards loses nothing; a bare ``stop()`` reports the
+    still-dirty block count as dropped work.
+    """
 
     def __init__(
         self,
@@ -38,16 +43,14 @@ class Flusher:
         period_s: float,
         flush_port: int = 7001,
     ) -> None:
-        self.node = node
-        self.env = node.env
+        super().__init__(node.env, f"flusher-{node.name}", node=node)
         self.manager = manager
         self.layout = layout
         self.iod_nodes = tuple(iod_nodes)
         self.metrics = metrics
         self.period_s = period_s
         self.flush_port = flush_port
-        self._channels: dict[str, RpcChannel] = {}
-        self._proc: Process | None = None
+        self._flush_pool = self.pool(flush_port, label=self.name)
         #: Blocks whose dirty data is on the wire right now; a second
         #: flush request for them is skipped (no duplicate shipping).
         self._inflight: set[CacheBlock] = set()
@@ -55,11 +58,8 @@ class Flusher:
         #: wires its wake() here so evictions pipeline with flushing).
         self.on_clean: _t.Callable[[], None] | None = None
 
-    def start(self) -> None:
-        """Spawn the periodic write-back thread."""
-        self._proc = self.env.process(
-            self._loop(), name=f"flusher-{self.node.name}"
-        )
+    def _on_start(self) -> None:
+        self.spawn(self._loop(), name=self.name)
 
     def _loop(self) -> _t.Generator:
         while True:
@@ -149,7 +149,7 @@ class Flusher:
         waiters = []
         for iod_node in sorted(per_iod_frags):
             entries = self._coalesce(per_iod_frags[iod_node])
-            channel = yield from self._channel(iod_node)
+            channel = yield from self._flush_pool.channel(iod_node)
             batch = FlushBatch(entries=entries)
             call = channel.call(
                 Message(
@@ -160,6 +160,12 @@ class Flusher:
             )
             self.metrics.inc("flusher.batches")
             self.metrics.inc("flusher.bytes", batch.total_bytes)
+            self._emit(
+                "flush_batch",
+                iod=iod_node,
+                entries=len(entries),
+                bytes=batch.total_bytes,
+            )
             waiters.append(
                 self.env.process(
                     self._await_batch(call, per_iod_caps[iod_node]),
@@ -210,7 +216,7 @@ class Flusher:
             for f, o, n, d in merged
         ]
 
-    def drain(self) -> _t.Generator:
+    def _drain(self) -> _t.Generator:
         """Flush until nothing is dirty (tests / orderly shutdown)."""
         while self.manager.n_dirty:
             cleaned = yield from self.flush_round()
@@ -219,12 +225,5 @@ class Flusher:
                 # their acks land before probing again.
                 yield self.env.timeout(self.period_s / 16)
 
-    def _channel(self, iod_node: str) -> _t.Generator:
-        channel = self._channels.get(iod_node)
-        if channel is None:
-            endpoint = yield self.env.process(
-                self.node.sockets.connect(iod_node, self.flush_port)
-            )
-            channel = RpcChannel(endpoint)
-            self._channels[iod_node] = channel
-        return channel
+    def _dropped(self) -> dict[str, int]:
+        return {"dirty_blocks": self.manager.n_dirty}

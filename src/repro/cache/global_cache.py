@@ -22,8 +22,8 @@ import typing as _t
 
 from repro.cache.block import BlockKey, BlockState
 from repro.net import Message
-from repro.net.rpc import RpcChannel
 from repro.pvfs import protocol
+from repro.svc import Service, handles
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.cache.module import CacheModule
@@ -87,7 +87,7 @@ class GlobalCacheDirectory:
         ]
 
 
-class GlobalCacheClient:
+class GlobalCacheClient(Service):
     """The peer-lookup side car attached to one CacheModule."""
 
     def __init__(
@@ -96,64 +96,56 @@ class GlobalCacheClient:
         directory: GlobalCacheDirectory,
         port: int = GCACHE_PORT,
     ) -> None:
+        super().__init__(
+            module.env, f"gcache-{module.node.name}", node=module.node
+        )
         self.module = module
-        self.env = module.env
         self.directory = directory
         self.port = port
-        self._channels: dict[str, RpcChannel] = {}
+        self._peer_pool = self.pool(port, label=self.name)
 
     # -- server side -------------------------------------------------------
-    def start_listener(self) -> None:
+    def _on_start(self) -> None:
         """Serve peer lookups on this node."""
-        listener = self.module.node.sockets.listen(self.port)
+        self.serve(self.port)
 
-        def accept_loop() -> _t.Generator:
-            while True:
-                endpoint = yield listener.accept()
-                self.env.process(
-                    self._serve(endpoint),
-                    name=f"gcache-{self.module.node.name}",
-                )
+    # Back-compat name from before the service runtime.
+    start_listener = Service.start
 
-        self.env.process(
-            accept_loop(), name=f"gcache-accept-{self.module.node.name}"
-        )
-
-    def _serve(self, endpoint) -> _t.Generator:
+    @handles(protocol.GCACHE_LOOKUP)
+    def _handle_lookup(self, msg: Message, endpoint) -> _t.Generator:
         manager = self.module.manager
         metrics = self.module.metrics
         costs = self.module.node.costs
-        while True:
-            msg: Message = yield endpoint.recv()
-            req: PeerLookupRequest = msg.payload
+        req: PeerLookupRequest = msg.payload
+        yield from self.module.node.compute(
+            costs.cache_lookup_s * max(1, len(req.block_nos))
+        )
+        hits: dict[int, bytes | None] = {}
+        for block_no in req.block_nos:
+            block = manager.lookup((req.file_id, block_no))
+            if (
+                block is not None
+                and block.state in (BlockState.CLEAN, BlockState.DIRTY)
+                and block.valid.covers(0, block.block_size)
+            ):
+                hits[block_no] = (
+                    block.read_slice(0, block.block_size)
+                    if req.want_data
+                    else None
+                )
+        if hits:
             yield from self.module.node.compute(
-                costs.cache_lookup_s * max(1, len(req.block_nos))
+                costs.cache_copy_block_s * len(hits)
             )
-            hits: dict[int, bytes | None] = {}
-            for block_no in req.block_nos:
-                block = manager.lookup((req.file_id, block_no))
-                if (
-                    block is not None
-                    and block.state in (BlockState.CLEAN, BlockState.DIRTY)
-                    and block.valid.covers(0, block.block_size)
-                ):
-                    hits[block_no] = (
-                        block.read_slice(0, block.block_size)
-                        if req.want_data
-                        else None
-                    )
-            if hits:
-                yield from self.module.node.compute(
-                    costs.cache_copy_block_s * len(hits)
-                )
-            metrics.inc("gcache.peer_lookups_served", len(req.block_nos))
-            metrics.inc("gcache.peer_hits_served", len(hits))
-            reply = PeerLookupReply(file_id=req.file_id, hits=hits)
-            yield endpoint.send(
-                msg.reply(
-                    protocol.GCACHE_REPLY, reply.wire_size(), payload=reply
-                )
+        metrics.inc("gcache.peer_lookups_served", len(req.block_nos))
+        metrics.inc("gcache.peer_hits_served", len(hits))
+        reply = PeerLookupReply(file_id=req.file_id, hits=hits)
+        yield endpoint.send(
+            msg.reply(
+                protocol.GCACHE_REPLY, reply.wire_size(), payload=reply
             )
+        )
 
     # -- client side -----------------------------------------------------------
     def lookup_remote(
@@ -197,11 +189,5 @@ class GlobalCacheClient:
         return hits
 
     def _channel(self, node: str) -> _t.Generator:
-        channel = self._channels.get(node)
-        if channel is None:
-            endpoint = yield self.env.process(
-                self.module.node.sockets.connect(node, self.port)
-            )
-            channel = RpcChannel(endpoint)
-            self._channels[node] = channel
+        channel = yield from self._peer_pool.channel(node)
         return channel

@@ -14,11 +14,18 @@ from repro.cache.block import BlockState
 from repro.cache.flusher import Flusher
 from repro.cache.manager import BufferManager
 from repro.metrics import Metrics
-from repro.sim import Environment, Process
+from repro.sim import Environment
+from repro.svc import Service
 
 
-class Harvester:
-    """Refills the free list between the low and high watermarks."""
+class Harvester(Service):
+    """Refills the free list between the low and high watermarks.
+
+    The wake signal stays a bare simulation event rather than a
+    mailbox message: ``wake()`` must be callable from synchronous code
+    (the free list's low-watermark hook) without scheduling anything
+    when the thread is already awake.
+    """
 
     #: Fallback poll interval when no wake signal is expected (e.g.
     #: every evictable block is pinned by in-progress copies).
@@ -31,20 +38,18 @@ class Harvester:
         flusher: Flusher,
         metrics: Metrics,
     ) -> None:
-        self.env = env
+        super().__init__(
+            env, f"harvester-{flusher.node.name}", node=flusher.node
+        )
         self.manager = manager
         self.flusher = flusher
         self.metrics = metrics
         self._wake = env.event()
-        self._proc: Process | None = None
         # Hook the free list's low-watermark signal.
         manager.freelist.on_low = self.wake
 
-    def start(self) -> None:
-        """Spawn the eviction kernel thread."""
-        self._proc = self.env.process(
-            self._loop(), name=f"harvester-{self.manager.name}"
-        )
+    def _on_start(self) -> None:
+        self.spawn(self._loop(), name=self.name)
 
     def wake(self) -> None:
         """Poke the thread (cheap; callable from synchronous code)."""
@@ -112,4 +117,6 @@ class Harvester:
                 self.manager.evict(block)
                 freed += 1
         self.metrics.inc("harvester.freed", freed)
+        if freed:
+            self._emit("eviction", freed=freed)
         return freed + len(dirty_victims)

@@ -28,7 +28,6 @@ from repro.cluster.node import Node
 from repro.disk.filesystem import blocks_spanned
 from repro.metrics import Metrics
 from repro.net import Message
-from repro.net.rpc import RpcChannel
 from repro.pvfs import protocol
 from repro.pvfs.protocol import (
     FileHandle,
@@ -39,9 +38,10 @@ from repro.pvfs.protocol import (
     coalesce_ranges,
 )
 from repro.pvfs.striping import StripeLayout
+from repro.svc import Service, handles
 
 
-class CacheModule:
+class CacheModule(Service):
     """The per-node kernel-level shared I/O cache."""
 
     def __init__(
@@ -55,8 +55,7 @@ class CacheModule:
         flush_port: int = 7001,
         invalidate_port: int = 7002,
     ) -> None:
-        self.node = node
-        self.env = node.env
+        super().__init__(node.env, f"cache-{node.name}", node=node)
         self.layout = layout
         self.iod_nodes = tuple(iod_nodes)
         self.metrics = metrics
@@ -65,21 +64,24 @@ class CacheModule:
         self.invalidate_port = invalidate_port
         self.block_size = config.block_size
         self.manager = BufferManager(node.env, config, metrics)
-        self.flusher = Flusher(
-            node,
-            self.manager,
-            layout,
-            iod_nodes,
-            metrics,
-            period_s=config.flush_period_s,
-            flush_port=flush_port,
+        self.flusher = self.adopt(
+            Flusher(
+                node,
+                self.manager,
+                layout,
+                iod_nodes,
+                metrics,
+                period_s=config.flush_period_s,
+                flush_port=flush_port,
+            )
         )
-        self.harvester = Harvester(node.env, self.manager, self.flusher, metrics)
+        self.harvester = self.adopt(
+            Harvester(node.env, self.manager, self.flusher, metrics)
+        )
         # Evictions pipeline with flushing: every batch of cleaned
         # blocks immediately re-arms the harvester.
         self.flusher.on_clean = self.harvester.wake
-        self._channels: dict[str, RpcChannel] = {}
-        self._started = False
+        self._iod_pool = self.pool(iod_port, label=self.name)
         #: Cooperative cluster-wide cache extension (attached by the
         #: cluster builder when ``CacheConfig.global_cache`` is set).
         self.gcache = None
@@ -90,44 +92,33 @@ class CacheModule:
             self.readahead = ReadAhead(self)
 
     # -- lifecycle ---------------------------------------------------------
-    def start(self) -> None:
+    def _on_start(self) -> None:
         """Load the module: kernel threads + invalidation listener."""
-        if self._started:
-            return
-        self._started = True
         self.flusher.start()
         self.harvester.start()
         if self.gcache is not None:
-            self.gcache.start_listener()
-        listener = self.node.sockets.listen(self.invalidate_port)
+            if self.gcache not in self._children:
+                self.adopt(self.gcache)
+            self.gcache.start()
+        self.serve(self.invalidate_port, label="inval")
 
-        def accept_loop() -> _t.Generator:
-            while True:
-                endpoint = yield listener.accept()
-                self.env.process(
-                    self._serve_invalidations(endpoint),
-                    name=f"cache-inval-{self.node.name}",
-                )
+    def _drain(self) -> _t.Generator:
+        """Draining the module == flushing its dirty blocks."""
+        yield from self.flusher.drain()
 
-        self.env.process(
-            accept_loop(), name=f"cache-inval-accept-{self.node.name}"
+    @handles(protocol.INVALIDATE)
+    def _handle_invalidate(self, msg: Message, endpoint) -> _t.Generator:
+        req: InvalidateRequest = msg.payload
+        yield from self.node.compute(
+            self.node.costs.cache_lookup_s * max(1, len(req.block_nos))
         )
-
-    def _serve_invalidations(self, endpoint) -> _t.Generator:
-        while True:
-            msg: Message = yield endpoint.recv()
-            if msg.kind != protocol.INVALIDATE:
-                raise ValueError(f"invalidation port got {msg.kind!r}")
-            req: InvalidateRequest = msg.payload
-            yield from self.node.compute(
-                self.node.costs.cache_lookup_s * max(1, len(req.block_nos))
-            )
-            for block_no in req.block_nos:
-                self.manager.invalidate((req.file_id, block_no))
-            self.metrics.inc("cache.invalidations_received", len(req.block_nos))
-            yield endpoint.send(
-                msg.reply(protocol.INVALIDATE_ACK, protocol.ACK_BYTES)
-            )
+        for block_no in req.block_nos:
+            self.manager.invalidate((req.file_id, block_no))
+        self.metrics.inc("cache.invalidations_received", len(req.block_nos))
+        self._emit("invalidation", blocks=len(req.block_nos))
+        yield endpoint.send(
+            msg.reply(protocol.INVALIDATE_ACK, protocol.ACK_BYTES)
+        )
 
     def stats(self) -> dict[str, _t.Any]:
         """Point-in-time snapshot of this node's cache state."""
@@ -147,13 +138,7 @@ class CacheModule:
         }
 
     def _channel(self, iod_node: str) -> _t.Generator:
-        channel = self._channels.get(iod_node)
-        if channel is None:
-            endpoint = yield self.env.process(
-                self.node.sockets.connect(iod_node, self.iod_port)
-            )
-            channel = RpcChannel(endpoint)
-            self._channels[iod_node] = channel
+        channel = yield from self._iod_pool.channel(iod_node)
         return channel
 
     # -- geometry helpers ------------------------------------------------------

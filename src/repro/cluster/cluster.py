@@ -30,6 +30,7 @@ from repro.pvfs.iod import Iod
 from repro.pvfs.mgr import MetadataServer
 from repro.pvfs.striping import StripeLayout
 from repro.sim import Environment
+from repro.svc import Service, StopReport
 
 
 class Cluster:
@@ -124,6 +125,19 @@ class Cluster:
                 self.nodes[name].cache_module = module
                 self.cache_modules[name] = module
 
+        #: Every top-level service in start order (children — flusher,
+        #: harvester, gcache — are reached through their parents).
+        self.services: list[Service] = [
+            self.mgr,
+            *self.iods,
+            *(
+                node.writeback
+                for node in (self.nodes[n] for n in iod_names)
+                if node.writeback is not None
+            ),
+            *self.cache_modules.values(),
+        ]
+
     INVALIDATE_PORT = 7002
 
     @property
@@ -159,3 +173,35 @@ class Cluster:
         """Process body: flush every node's dirty blocks (tests)."""
         for module in self.cache_modules.values():
             yield from module.flusher.drain()
+
+    def node_services(self, name: str) -> list[Service]:
+        """Top-level services hosted on node ``name``."""
+        return [
+            service
+            for service in self.services
+            if service.node is not None and service.node.name == name
+        ]
+
+    def drain_node(self, name: str) -> _t.Generator:
+        """Process body: let node ``name``'s daemons finish dirty work
+        (cache flusher + disk writeback) ahead of a teardown.
+
+        Runs in reverse start order so dirty work settles downstream:
+        the cache flusher's batches land in the co-hosted iod's
+        writeback queue *before* that writeback daemon drains.
+        """
+        for service in reversed(self.node_services(name)):
+            yield from service.drain()
+
+    def stop_node(self, name: str, strict: bool = False) -> list[StopReport]:
+        """Tear down node ``name``'s daemons; reports dropped work."""
+        return [
+            service.stop(strict=strict)
+            for service in reversed(self.node_services(name))
+        ]
+
+    def stop_services(self, strict: bool = False) -> list[StopReport]:
+        """Stop every service in reverse start order."""
+        return [
+            service.stop(strict=strict) for service in reversed(self.services)
+        ]

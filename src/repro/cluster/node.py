@@ -62,7 +62,7 @@ class Node:
         )
         self.filestore = LocalFileStore(block_size=block_size)
         self.pagecache = PageCache(capacity_blocks=pagecache_blocks)
-        self.writeback = WritebackDaemon(self.env, self.disk)
+        self.writeback = WritebackDaemon(self.env, self.disk, node=self)
         self.writeback.start()
 
     def compute(self, seconds: float) -> _t.Generator:

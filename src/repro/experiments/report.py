@@ -62,6 +62,50 @@ def _run_extensions(quick: bool) -> "list[ExperimentResult]":
 DEFAULT_SET = ["overhead", "fig4", "fig5", "fig6", "fig7", "fig8"]
 
 
+def daemon_summary(stream: _t.TextIO = sys.stdout) -> str:
+    """Run a small shared-read workload and print what each daemon did.
+
+    Exercises every service in the runtime — mgr opens, iod reads and
+    writes, flusher batches, invalidations (via a sync_write), and the
+    writeback daemons — then renders the per-daemon stats table fed by
+    the instrumentation bus.
+    """
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.config import ClusterConfig
+    from repro.metrics import DaemonMonitor, daemon_table
+    from repro.svc import get_bus
+
+    cluster = Cluster(ClusterConfig(compute_nodes=2, iod_nodes=2))
+    bus = get_bus(cluster.env)
+    monitor = DaemonMonitor(bus)
+    cluster.metrics.attach_bus(bus)
+
+    def app(node: str, path: str) -> _t.Generator:
+        client = cluster.client(node)
+        handle = yield from client.open(path)
+        yield from client.write(handle, 0, 256 * 1024)
+        yield from client.read(handle, 0, 256 * 1024)
+        yield from client.sync_write(handle, 0, 64 * 1024)
+
+    procs = [
+        cluster.env.process(app(node, "/data/shared"))
+        for node in cluster.compute_nodes
+    ]
+    cluster.env.run(until=cluster.env.all_of(procs))
+    cluster.env.run(until=cluster.env.process(cluster.drain_caches()))
+
+    table = daemon_table(bus)
+    dispatches = sum(
+        count
+        for (_svc, kind), count in monitor.event_counts.items()
+        if kind == "dispatch"
+    )
+    print(table, file=stream)
+    print(f"\n[{dispatches} dispatches observed on the bus]", file=stream)
+    monitor.close()
+    return table
+
+
 def run_all(
     quick: bool = False,
     only: _t.Sequence[str] | None = None,
@@ -112,7 +156,15 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         action="store_true",
         help="also render each figure as a terminal chart",
     )
+    parser.add_argument(
+        "--daemons",
+        action="store_true",
+        help="run a small workload and print the per-daemon summary",
+    )
     args = parser.parse_args(argv)
+    if args.daemons:
+        daemon_summary()
+        return 0
     only = args.only.split(",") if args.only else None
     run_all(quick=args.quick, only=only, charts=args.charts)
     return 0

@@ -1,6 +1,6 @@
 """Statistics collection for simulated runs."""
 
 from repro.metrics.collector import Metrics
-from repro.metrics.monitor import ResourceMonitor
+from repro.metrics.monitor import DaemonMonitor, ResourceMonitor, daemon_table
 
-__all__ = ["Metrics", "ResourceMonitor"]
+__all__ = ["DaemonMonitor", "Metrics", "ResourceMonitor", "daemon_table"]

@@ -85,3 +85,17 @@ class Metrics:
             "counters": dict(self.counters),
             "series": {k: self.summary(k) for k in self.series},
         }
+
+    # -- service instrumentation -------------------------------------------
+    def attach_bus(self, bus: _t.Any) -> _t.Callable[[], None]:
+        """Mirror a service-runtime instrumentation bus into counters.
+
+        Every :class:`~repro.svc.events.ServiceEvent` becomes a bump of
+        ``svc.<service>.<kind>``.  Returns the detach callable; leave
+        detached (the default) for counter-free hot paths.
+        """
+
+        def on_event(record: _t.Any) -> None:
+            self.inc(f"svc.{record.service}.{record.kind}")
+
+        return bus.subscribe(on_event)

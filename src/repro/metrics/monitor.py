@@ -1,10 +1,16 @@
-"""Time-series monitoring of simulated resources.
+"""Monitoring of simulated resources and daemons.
 
-Experiments sometimes need more than end-of-run counters: *when* was
-the wire saturated, how full was the cache over time, how long was the
-disk queue during the write burst?  A :class:`ResourceMonitor` samples
-callables at a fixed simulated-time interval and exposes the series
-for analysis or terminal plotting.
+Two complementary tools live here:
+
+* :class:`ResourceMonitor` samples arbitrary probes at a fixed
+  simulated-time interval (time-series questions: *when* was the wire
+  saturated, how full was the cache over time?).
+
+* :class:`DaemonMonitor` subscribes to the service runtime's
+  instrumentation bus (:mod:`repro.svc.events`) — no polling — and
+  aggregates the typed event records each daemon emits.  The
+  per-daemon summary table (messages handled, queue-depth high-water
+  mark, busy time) comes from :func:`daemon_table`.
 
 Example::
 
@@ -15,6 +21,9 @@ Example::
     monitor.start()
     ... run the workload ...
     print(monitor.table())
+
+    from repro.svc import get_bus
+    print(daemon_table(get_bus(cluster.env)))
 """
 
 from __future__ import annotations
@@ -22,6 +31,9 @@ from __future__ import annotations
 import typing as _t
 
 from repro.sim import Environment, Process
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.svc.events import InstrumentationBus, ServiceEvent
 
 
 class ResourceMonitor:
@@ -111,3 +123,73 @@ class ResourceMonitor:
         from repro.experiments.plots import sparkline
 
         return sparkline([v for v in self.samples[name] if v == v])
+
+
+class DaemonMonitor:
+    """Event-driven view of the cluster's daemons.
+
+    Subscribes to the instrumentation bus (push, not poll): every
+    record a service emits lands here the moment it happens, so the
+    monitor sees short-lived spikes that interval sampling would miss.
+    """
+
+    def __init__(self, bus: "InstrumentationBus", keep_records: int = 0) -> None:
+        self.bus = bus
+        #: (service, kind) -> count of observed event records.
+        self.event_counts: dict[tuple[str, str], int] = {}
+        #: Ring of the most recent records (0 == counting only).
+        self.keep_records = keep_records
+        self.records: list["ServiceEvent"] = []
+        self._detach = bus.subscribe(self._on_event)
+
+    def _on_event(self, record: "ServiceEvent") -> None:
+        key = (record.service, record.kind)
+        self.event_counts[key] = self.event_counts.get(key, 0) + 1
+        if self.keep_records:
+            self.records.append(record)
+            if len(self.records) > self.keep_records:
+                del self.records[: -self.keep_records]
+
+    def close(self) -> None:
+        """Unsubscribe from the bus."""
+        self._detach()
+
+    def count(self, service: str, kind: str) -> int:
+        """Observed records of ``kind`` from ``service``."""
+        return self.event_counts.get((service, kind), 0)
+
+    def table(self) -> str:
+        """The per-daemon summary table (see :func:`daemon_table`)."""
+        return daemon_table(self.bus)
+
+
+def daemon_table(bus: "InstrumentationBus") -> str:
+    """Render every registered daemon's always-on stats as a table.
+
+    Columns: daemon, node, lifecycle state, messages handled, queue
+    depth high-water mark, simulated busy time, and dropped work.
+    """
+    header = ["daemon", "node", "state", "handled", "q-high", "busy(s)", "dropped"]
+    rows = []
+    for stats in bus.stats.values():
+        rows.append(
+            [
+                stats.service,
+                stats.node or "-",
+                stats.state,
+                str(stats.messages_handled),
+                str(stats.queue_high_water),
+                f"{stats.busy_s:.4f}",
+                str(stats.total_dropped),
+            ]
+        )
+    if not rows:
+        return "(no services registered)"
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows))
+        for c in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

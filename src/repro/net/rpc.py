@@ -1,77 +1,10 @@
-"""Request/response multiplexing over a shared socket endpoint.
+"""Compatibility shim: the RPC layer moved to :mod:`repro.svc.rpc`.
 
-A private libpvfs connection can match responses FIFO, but the cache
-module *shares* one connection per iod across every process on the
-node, so responses must be correlated by message id.  :class:`RpcChannel`
-runs a dispatcher process that routes each inbound message to the
-:class:`Call` whose request it answers.  A call may receive several
-responses (the PVFS read protocol answers with an ACK message followed
-by a DATA message).
+Request/response correlation is part of the service runtime now (it is
+what ``Service``-based daemons use to talk to each other); this module
+re-exports the public names so existing imports keep working.
 """
 
-from __future__ import annotations
+from repro.svc.rpc import Call, ChannelPool, PendingCallLeak, RpcChannel
 
-import typing as _t
-
-from repro.net.message import Message
-from repro.net.sockets import Endpoint
-from repro.sim import Store
-
-
-class Call:
-    """One outstanding request on an :class:`RpcChannel`."""
-
-    __slots__ = ("channel", "msg_id", "_responses")
-
-    def __init__(self, channel: "RpcChannel", msg_id: int) -> None:
-        self.channel = channel
-        self.msg_id = msg_id
-        self._responses: Store = Store(channel.endpoint.env)
-
-    def response(self):
-        """Event yielding the next response message for this call."""
-        return self._responses.get()
-
-    def close(self) -> None:
-        """Deregister; further responses for this id count as orphans."""
-        self.channel._calls.pop(self.msg_id, None)
-
-
-class RpcChannel:
-    """Correlates responses on a shared connection endpoint."""
-
-    def __init__(self, endpoint: Endpoint) -> None:
-        self.endpoint = endpoint
-        self.env = endpoint.env
-        self._calls: dict[int, Call] = {}
-        #: Responses that matched no registered call (protocol bugs
-        #: surface here instead of hanging the simulation).
-        self.orphans = 0
-        self._dispatcher = self.env.process(
-            self._dispatch_loop(), name=f"rpc-dispatch-{id(endpoint):x}"
-        )
-
-    def call(self, message: Message) -> Call:
-        """Send ``message`` and register for its responses.
-
-        The send is fire-and-forget (FIFO-ordered by the connection);
-        the returned :class:`Call` collects responses.
-        """
-        call = Call(self, message.msg_id)
-        self._calls[message.msg_id] = call
-        self.endpoint.send(message)
-        return call
-
-    @property
-    def outstanding(self) -> int:
-        """Calls still awaiting responses."""
-        return len(self._calls)
-
-    def _dispatch_loop(self) -> _t.Generator:
-        while True:
-            msg: Message = yield self.endpoint.recv()
-            call = self._calls.get(msg.reply_to) if msg.reply_to else None
-            if call is None:
-                self.orphans += 1
-                continue
-            yield call._responses.put(msg)
+__all__ = ["Call", "ChannelPool", "PendingCallLeak", "RpcChannel"]

@@ -17,7 +17,6 @@ from repro.disk.filesystem import blocks_spanned, slice_for_block
 from repro.disk.writeback import WritebackItem
 from repro.metrics import Metrics
 from repro.net import Message
-from repro.net.rpc import RpcChannel
 from repro.pvfs import protocol
 from repro.pvfs.protocol import (
     FlushBatch,
@@ -27,9 +26,10 @@ from repro.pvfs.protocol import (
     WriteRequest,
 )
 from repro.pvfs.striping import StripeLayout
+from repro.svc import Service, handles
 
 
-class Iod:
+class Iod(Service):
     """One I/O daemon bound to a storage node."""
 
     def __init__(
@@ -44,64 +44,35 @@ class Iod:
     ) -> None:
         if node.disk is None or node.filestore is None or node.pagecache is None:
             raise ValueError(f"{node.name} has no disk stack for an iod")
-        self.node = node
-        self.env = node.env
+        super().__init__(node.env, f"iod-{node.name}", node=node)
         self.layout = layout
         self.iod_index = iod_index
         self.metrics = metrics
         self.port = port
         self.flush_port = flush_port
         self.invalidate_port = invalidate_port
+        self.request_cpu_s = node.costs.iod_request_cpu_s
         #: (file_id, block_no) -> set of client node names whose cache
         #: module may hold a copy (the sync_write directory).
         self.directory: dict[tuple[int, int], set[str]] = {}
-        self._invalidate_channels: dict[str, RpcChannel] = {}
+        self._invalidate_pool = self.pool(
+            invalidate_port, label=f"{self.name}-inval"
+        )
         self.block_size = node.filestore.block_size
 
-    # -- lifecycle ---------------------------------------------------------
-    def start(self) -> None:
-        """Spawn the accept loops (data + flush ports)."""
-        data_listener = self.node.sockets.listen(self.port)
-        flush_listener = self.node.sockets.listen(self.flush_port)
-
-        def accept_loop(listener, handler, tag) -> _t.Generator:
-            while True:
-                endpoint = yield listener.accept()
-                self.env.process(
-                    handler(endpoint),
-                    name=f"iod-{self.node.name}-{tag}-{id(endpoint):x}",
-                )
-
-        self.env.process(
-            accept_loop(data_listener, self._serve_data, "data"),
-            name=f"iod-{self.node.name}-accept",
-        )
-        self.env.process(
-            accept_loop(flush_listener, self._serve_flush, "flush"),
-            name=f"iod-{self.node.name}-flush-accept",
-        )
+    def _on_start(self) -> None:
+        self.serve(self.port, label="data")
+        self.serve(self.flush_port, label="flush")
 
     # -- local geometry ------------------------------------------------------
     def local_offset(self, logical_offset: int) -> int:
         """Map a logical file offset to this iod's local stripe file."""
         return self.layout.local_offset(logical_offset)
 
-    # -- data connection handler -----------------------------------------------
-    def _serve_data(self, endpoint) -> _t.Generator:
-        while True:
-            msg: Message = yield endpoint.recv()
-            if msg.kind == protocol.IOD_READ:
-                yield from self._handle_read(endpoint, msg)
-            elif msg.kind == protocol.IOD_WRITE:
-                yield from self._handle_write(endpoint, msg)
-            elif msg.kind == protocol.IOD_SYNC_WRITE:
-                yield from self._handle_sync_write(endpoint, msg)
-            else:
-                raise ValueError(f"iod got unexpected message {msg.kind!r}")
-
-    def _handle_read(self, endpoint, msg: Message) -> _t.Generator:
+    # -- request handlers --------------------------------------------------
+    @handles(protocol.IOD_READ)
+    def _handle_read(self, msg: Message, endpoint) -> _t.Generator:
         req: ReadRequest = msg.payload
-        yield from self.node.compute(self.node.costs.iod_request_cpu_s)
         # Acknowledge the request before moving data (PVFS protocol:
         # libpvfs waits for an ack, then the data stream).
         yield endpoint.send(
@@ -125,9 +96,9 @@ class Iod:
             msg.reply(protocol.IOD_DATA, data.total_bytes, payload=data)
         )
 
-    def _handle_write(self, endpoint, msg: Message) -> _t.Generator:
+    @handles(protocol.IOD_WRITE)
+    def _handle_write(self, msg: Message, endpoint) -> _t.Generator:
         req: WriteRequest = msg.payload
-        yield from self.node.compute(self.node.costs.iod_request_cpu_s)
         yield from self._write_ranges(req.file_id, req.ranges, req.chunks)
         self.metrics.inc("iod.writes")
         self.metrics.inc("iod.write_bytes", req.total_bytes)
@@ -135,9 +106,9 @@ class Iod:
             msg.reply(protocol.IOD_WRITE_ACK, protocol.ACK_BYTES)
         )
 
-    def _handle_sync_write(self, endpoint, msg: Message) -> _t.Generator:
+    @handles(protocol.IOD_SYNC_WRITE)
+    def _handle_sync_write(self, msg: Message, endpoint) -> _t.Generator:
         req: WriteRequest = msg.payload
-        yield from self.node.compute(self.node.costs.iod_request_cpu_s)
         yield from self._write_ranges(req.file_id, req.ranges, req.chunks)
         yield from self._invalidate_sharers(req)
         self.metrics.inc("iod.sync_writes")
@@ -146,25 +117,22 @@ class Iod:
             msg.reply(protocol.IOD_SYNC_ACK, protocol.ACK_BYTES)
         )
 
-    # -- flush connection handler ----------------------------------------------
-    def _serve_flush(self, endpoint) -> _t.Generator:
-        while True:
-            msg: Message = yield endpoint.recv()
-            if msg.kind != protocol.FLUSH:
-                raise ValueError(f"flush port got {msg.kind!r}")
-            batch: FlushBatch = msg.payload
-            yield from self.node.compute(self.node.costs.iod_request_cpu_s)
-            for entry in batch.entries:
-                yield from self._write_ranges(
-                    entry.file_id,
-                    [(entry.offset, entry.nbytes)],
-                    [entry.data],
-                )
-            self.metrics.inc("iod.flush_batches")
-            self.metrics.inc("iod.flushed_bytes", batch.total_bytes)
-            yield endpoint.send(
-                msg.reply(protocol.FLUSH_ACK, protocol.ACK_BYTES)
+    @handles(protocol.FLUSH)
+    def _handle_flush(self, msg: Message, endpoint) -> _t.Generator:
+        batch: FlushBatch = msg.payload
+        for entry in batch.entries:
+            yield from self._write_ranges(
+                entry.file_id,
+                [(entry.offset, entry.nbytes)],
+                [entry.data],
             )
+        self.metrics.inc("iod.flush_batches")
+        self.metrics.inc("iod.flushed_bytes", batch.total_bytes)
+        self._emit("flush_batch", entries=len(batch.entries),
+                   bytes=batch.total_bytes)
+        yield endpoint.send(
+            msg.reply(protocol.FLUSH_ACK, protocol.ACK_BYTES)
+        )
 
     # -- storage paths ---------------------------------------------------------
     def _ensure_resident(
@@ -287,7 +255,7 @@ class Iod:
                     self.directory[key] = keep
         pending = []
         for node_name, keys in victims.items():
-            channel = yield from self._invalidate_channel(node_name)
+            channel = yield from self._invalidate_pool.channel(node_name)
             by_file: dict[int, list[int]] = {}
             for file_id, block in keys:
                 by_file.setdefault(file_id, []).append(block)
@@ -302,16 +270,9 @@ class Iod:
                 )
                 pending.append(call)
                 self.metrics.inc("iod.invalidations_sent", len(blocks))
+                self._emit(
+                    "invalidation", peer=node_name, blocks=len(blocks)
+                )
         for call in pending:
             yield call.response()
             call.close()
-
-    def _invalidate_channel(self, node_name: str) -> _t.Generator:
-        channel = self._invalidate_channels.get(node_name)
-        if channel is None:
-            endpoint = yield self.env.process(
-                self.node.sockets.connect(node_name, self.invalidate_port)
-            )
-            channel = RpcChannel(endpoint)
-            self._invalidate_channels[node_name] = channel
-        return channel

@@ -16,10 +16,10 @@ from repro.metrics import Metrics
 from repro.net import Message
 from repro.pvfs import protocol
 from repro.pvfs.protocol import FileHandle
-from repro.sim import Process
+from repro.svc import Service, handles
 
 
-class MetadataServer:
+class MetadataServer(Service):
     """The mgr daemon."""
 
     def __init__(
@@ -30,28 +30,17 @@ class MetadataServer:
         metrics: Metrics,
         port: int = 3000,
     ) -> None:
-        self.node = node
-        self.env = node.env
+        super().__init__(node.env, "mgr", node=node)
         self.iod_nodes = tuple(iod_nodes)
         self.stripe_size = stripe_size
         self.metrics = metrics
         self.port = port
+        self.request_cpu_s = node.costs.mgr_request_cpu_s
         self._file_ids = itertools.count(1)
         self._by_path: dict[str, FileHandle] = {}
-        self._proc: Process | None = None
 
-    def start(self) -> None:
-        """Spawn the accept loop."""
-        listener = self.node.sockets.listen(self.port)
-
-        def accept_loop() -> _t.Generator:
-            while True:
-                endpoint = yield listener.accept()
-                self.env.process(
-                    self._serve(endpoint), name=f"mgr-conn-{id(endpoint):x}"
-                )
-
-        self._proc = self.env.process(accept_loop(), name="mgr-accept")
+    def _on_start(self) -> None:
+        self.serve(self.port)
 
     def lookup(self, path: str) -> FileHandle | None:
         """Direct (non-simulated) metadata inspection for tests."""
@@ -70,54 +59,54 @@ class MetadataServer:
             self.metrics.inc("mgr.creates")
         return handle
 
-    def _serve(self, endpoint) -> _t.Generator:
-        while True:
-            msg: Message = yield endpoint.recv()
-            yield from self.node.compute(self.node.costs.mgr_request_cpu_s)
-            if msg.kind == protocol.MGR_OPEN:
-                handle = self._open(msg.payload.path)
-                self.metrics.inc("mgr.opens")
-                yield endpoint.send(
-                    msg.reply(
-                        protocol.MGR_OPEN_ACK,
-                        protocol.OPEN_ACK_BYTES,
-                        payload=handle,
-                    )
-                )
-            elif msg.kind == protocol.MGR_STAT:
-                path = msg.payload.path
-                self.metrics.inc("mgr.stats")
-                yield endpoint.send(
-                    msg.reply(
-                        protocol.MGR_STAT_ACK,
-                        protocol.OPEN_ACK_BYTES,
-                        payload=protocol.StatReply(
-                            path=path, handle=self._by_path.get(path)
-                        ),
-                    )
-                )
-            elif msg.kind == protocol.MGR_UNLINK:
-                path = msg.payload.path
-                existed = self._by_path.pop(path, None) is not None
-                self.metrics.inc("mgr.unlinks")
-                yield endpoint.send(
-                    msg.reply(
-                        protocol.MGR_UNLINK_ACK,
-                        protocol.ACK_BYTES,
-                        payload=protocol.UnlinkReply(
-                            path=path, existed=existed
-                        ),
-                    )
-                )
-            elif msg.kind == protocol.MGR_LIST:
-                reply = protocol.ListReply(paths=sorted(self._by_path))
-                self.metrics.inc("mgr.lists")
-                yield endpoint.send(
-                    msg.reply(
-                        protocol.MGR_LIST_ACK,
-                        reply.wire_size(),
-                        payload=reply,
-                    )
-                )
-            else:
-                raise ValueError(f"mgr got unexpected message {msg.kind!r}")
+    # -- request handlers --------------------------------------------------
+    @handles(protocol.MGR_OPEN)
+    def _handle_open(self, msg: Message, endpoint) -> _t.Generator:
+        handle = self._open(msg.payload.path)
+        self.metrics.inc("mgr.opens")
+        yield endpoint.send(
+            msg.reply(
+                protocol.MGR_OPEN_ACK,
+                protocol.OPEN_ACK_BYTES,
+                payload=handle,
+            )
+        )
+
+    @handles(protocol.MGR_STAT)
+    def _handle_stat(self, msg: Message, endpoint) -> _t.Generator:
+        path = msg.payload.path
+        self.metrics.inc("mgr.stats")
+        yield endpoint.send(
+            msg.reply(
+                protocol.MGR_STAT_ACK,
+                protocol.OPEN_ACK_BYTES,
+                payload=protocol.StatReply(
+                    path=path, handle=self._by_path.get(path)
+                ),
+            )
+        )
+
+    @handles(protocol.MGR_UNLINK)
+    def _handle_unlink(self, msg: Message, endpoint) -> _t.Generator:
+        path = msg.payload.path
+        existed = self._by_path.pop(path, None) is not None
+        self.metrics.inc("mgr.unlinks")
+        yield endpoint.send(
+            msg.reply(
+                protocol.MGR_UNLINK_ACK,
+                protocol.ACK_BYTES,
+                payload=protocol.UnlinkReply(path=path, existed=existed),
+            )
+        )
+
+    @handles(protocol.MGR_LIST)
+    def _handle_list(self, msg: Message, endpoint) -> _t.Generator:
+        reply = protocol.ListReply(paths=sorted(self._by_path))
+        self.metrics.inc("mgr.lists")
+        yield endpoint.send(
+            msg.reply(
+                protocol.MGR_LIST_ACK,
+                reply.wire_size(),
+                payload=reply,
+            )
+        )

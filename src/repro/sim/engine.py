@@ -38,10 +38,23 @@ class Environment:
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
 
-    __slots__ = ("_now", "_heap", "_seq", "_active_process", "_step_hooks", "_trace")
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_active_process",
+        "_step_hooks",
+        "_trace",
+        "svc_bus",
+    )
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
+        #: Lazily-created per-environment instrumentation bus for the
+        #: service runtime (see :func:`repro.svc.events.get_bus`).
+        #: Lives on the environment so every service sharing a clock
+        #: also shares one bus, without global registries.
+        self.svc_bus: _t.Any = None
         self._heap: list[tuple[float, int, int, Event]] = []
         #: Monotone tiebreaker, bumped inline on every push (an int
         #: increment is measurably cheaper than itertools.count on the

@@ -99,6 +99,11 @@ class Process(Event):
 
     # -- resume machinery --------------------------------------------------
     def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Already finished — e.g. killed between its spawn and the
+            # start event firing.  A late resume must not re-enter the
+            # closed generator.
+            return
         self._waiting_on = None
         self.env._active_process = self
         try:

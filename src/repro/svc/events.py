@@ -1,0 +1,208 @@
+"""Structured instrumentation bus for the service runtime.
+
+Every :class:`~repro.svc.service.Service` reports what it is doing in
+two complementary forms:
+
+* **Always-on stats** — a :class:`ServiceStats` record per daemon with
+  plain integer/float counters (messages handled, per-kind dispatch
+  counts, mailbox/inbox queue high-water mark, busy time).  These are
+  cheap enough to maintain on the simulator's hot paths and are what
+  the per-daemon summary tables render.
+
+* **Opt-in event records** — when at least one subscriber is attached
+  to the :class:`InstrumentationBus`, each notable action additionally
+  emits a typed :class:`ServiceEvent` (``msg_received``, ``dispatch``,
+  ``flush_batch``, ``eviction``, ``invalidation``, lifecycle
+  transitions, ...).  With no subscribers the record is never built,
+  so the bus costs one attribute probe per emission site.
+
+The bus is per-:class:`~repro.sim.Environment` (one simulated cluster
+== one bus), obtained with :func:`get_bus` — there is deliberately no
+process-global bus, so parallel sweep workers and co-hosted test
+clusters can never observe each other's daemons.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+#: Record kinds emitted by the stock services.  Services may emit
+#: additional kinds; this tuple documents the core schema.
+CORE_EVENT_KINDS = (
+    "start",
+    "drain",
+    "drained",
+    "stop",
+    "msg_received",
+    "dispatch",
+    "flush_batch",
+    "eviction",
+    "invalidation",
+    "rpc_timeout",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceEvent:
+    """One structured instrumentation record."""
+
+    time: float
+    service: str
+    node: str
+    kind: str
+    #: Free-form structured payload (counts, peer names, ...).
+    detail: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return (
+            f"[{self.time:.6f}] {self.service} {self.kind}"
+            + (f" {extras}" if extras else "")
+        )
+
+
+class ServiceStats:
+    """Always-on per-daemon counters maintained by the runtime."""
+
+    __slots__ = (
+        "service",
+        "node",
+        "state",
+        "messages_handled",
+        "dispatched",
+        "events",
+        "queue_high_water",
+        "busy_s",
+        "dropped",
+    )
+
+    def __init__(self, service: str, node: str = "") -> None:
+        self.service = service
+        self.node = node
+        #: Mirror of the owning service's lifecycle state ("new",
+        #: "running", "draining", "stopped").
+        self.state = "new"
+        #: Total messages/work items routed through dispatch().
+        self.messages_handled = 0
+        #: Per-message-kind dispatch counts.
+        self.dispatched: dict[str, int] = {}
+        #: Per-kind counts of emitted instrumentation events
+        #: (flush_batch, eviction, invalidation, ...).
+        self.events: dict[str, int] = {}
+        #: Deepest the mailbox / connection inbox ever got.
+        self.queue_high_water = 0
+        #: Simulated seconds spent with a message in service (from
+        #: dispatch to handler return, waits included).
+        self.busy_s = 0.0
+        #: Work items reported lost by a stop() without drain().
+        self.dropped: dict[str, int] = {}
+
+    @property
+    def total_dropped(self) -> int:
+        """Sum of all dropped-work counts."""
+        return sum(self.dropped.values())
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """Plain-dict snapshot (for metrics export and tests)."""
+        return {
+            "service": self.service,
+            "node": self.node,
+            "state": self.state,
+            "messages_handled": self.messages_handled,
+            "dispatched": dict(self.dispatched),
+            "events": dict(self.events),
+            "queue_high_water": self.queue_high_water,
+            "busy_s": self.busy_s,
+            "dropped": dict(self.dropped),
+        }
+
+
+class InstrumentationBus:
+    """Per-environment fan-out point for service instrumentation."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Subscriber callables, invoked with each ServiceEvent.
+        self.subscribers: list[_t.Callable[[ServiceEvent], None]] = []
+        #: service name -> its always-on stats record.
+        self.stats: dict[str, ServiceStats] = {}
+
+    # -- registration ----------------------------------------------------
+    def register(self, service: str, node: str = "") -> ServiceStats:
+        """Create (or uniquify and create) the stats slot for a daemon.
+
+        Name collisions get a deterministic ``#N`` suffix so two
+        anonymous services on one environment stay distinguishable.
+        """
+        name, n = service, 1
+        while name in self.stats:
+            n += 1
+            name = f"{service}#{n}"
+        record = ServiceStats(name, node)
+        self.stats[name] = record
+        return record
+
+    # -- subscription ----------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber wants event records."""
+        return bool(self.subscribers)
+
+    def subscribe(
+        self, fn: _t.Callable[[ServiceEvent], None]
+    ) -> _t.Callable[[], None]:
+        """Attach ``fn``; returns a detach callable."""
+        self.subscribers.append(fn)
+
+        def detach() -> None:
+            self.unsubscribe(fn)
+
+        return detach
+
+    def unsubscribe(self, fn: _t.Callable[[ServiceEvent], None]) -> None:
+        """Detach ``fn`` (no-op if already detached)."""
+        try:
+            self.subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    # -- emission --------------------------------------------------------
+    def emit(
+        self,
+        service: str,
+        kind: str,
+        node: str = "",
+        **detail: _t.Any,
+    ) -> None:
+        """Deliver one record to every subscriber.
+
+        Callers should guard with :attr:`active` so the record dict is
+        never built on hot paths when nobody is listening.
+        """
+        record = ServiceEvent(
+            time=self.env.now,
+            service=service,
+            node=node,
+            kind=kind,
+            detail=detail,
+        )
+        for fn in self.subscribers:
+            fn(record)
+
+    # -- summaries -------------------------------------------------------
+    def summary(self) -> list[dict[str, _t.Any]]:
+        """Per-daemon stats snapshots, in registration order."""
+        return [stats.as_dict() for stats in self.stats.values()]
+
+
+def get_bus(env: "Environment") -> InstrumentationBus:
+    """The environment's bus, created on first use."""
+    bus = env.svc_bus
+    if bus is None:
+        bus = InstrumentationBus(env)
+        env.svc_bus = bus
+    return bus

@@ -1,0 +1,226 @@
+"""Tests for the service runtime: lifecycle, dispatch, instrumentation."""
+
+import pytest
+
+from repro.metrics import DaemonMonitor, Metrics, daemon_table
+from repro.net import Message, Network, SocketAPI
+from repro.sim import Environment
+from repro.svc import Service, ServiceState, get_bus, handles
+
+from tests.conftest import make_cluster, run_app
+
+
+class EchoNode:
+    """Minimal stand-in for a cluster Node (sockets + free compute)."""
+
+    def __init__(self, env, network, name):
+        self.env = env
+        self.name = name
+        self.sockets = SocketAPI(network, name)
+
+    def compute(self, seconds):
+        if seconds:
+            yield self.env.timeout(seconds)
+
+
+class EchoService(Service):
+    PORT = 9100
+
+    def __init__(self, env, node):
+        super().__init__(env, f"echo-{node.name}", node=node)
+
+    def _on_start(self):
+        self.serve(self.PORT)
+
+    @handles("ping")
+    def _handle_ping(self, msg, endpoint):
+        yield endpoint.send(msg.reply("pong", 8))
+
+
+def _echo_world():
+    env = Environment()
+    net = Network(env)
+    server = EchoNode(env, net, "srv")
+    client = EchoNode(env, net, "cli")
+    service = EchoService(env, server)
+    service.start()
+    return env, service, client
+
+
+def test_lifecycle_states():
+    env = Environment()
+    net = Network(env)
+    service = EchoService(env, EchoNode(env, net, "srv"))
+    assert service.state is ServiceState.NEW
+    service.start()
+    assert service.state is ServiceState.RUNNING
+    service.start()  # idempotent
+    assert service.state is ServiceState.RUNNING
+    report = service.stop()
+    assert service.state is ServiceState.STOPPED
+    assert report.dropped == {}
+    # All runtime-owned processes are gone.
+    assert service._procs == []
+
+
+def test_dispatch_routes_by_kind_and_counts():
+    env, service, client = _echo_world()
+    got = {}
+
+    def app(env):
+        endpoint = yield env.process(
+            client.sockets.connect("srv", EchoService.PORT)
+        )
+        endpoint.send(Message(kind="ping", size_bytes=16))
+        got["reply"] = yield endpoint.recv()
+
+    env.process(app(env))
+    env.run()
+    assert got["reply"].kind == "pong"
+    assert service.svc_stats.messages_handled == 1
+    assert service.svc_stats.dispatched == {"ping": 1}
+    assert service.svc_stats.queue_high_water >= 1
+
+
+def test_dispatch_rejects_unknown_kind():
+    env, service, client = _echo_world()
+
+    def app(env):
+        endpoint = yield env.process(
+            client.sockets.connect("srv", EchoService.PORT)
+        )
+        endpoint.send(Message(kind="bogus", size_bytes=16))
+
+    env.process(app(env))
+    env.run()
+    # The failure lands on the connection-loop process event (loudly,
+    # as the engine does for any crashed process), not on env.run().
+    (conn,) = [p for p in service._procs if "-conn" in p.name]
+    assert not conn.ok
+    assert isinstance(conn.value, ValueError)
+    assert "unexpected message 'bogus'" in str(conn.value)
+
+
+def test_handler_inheritance_subclass_wins():
+    class Fancy(EchoService):
+        @handles("ping")
+        def _handle_ping2(self, msg, endpoint):
+            yield endpoint.send(msg.reply("fancy-pong", 8))
+
+    env = Environment()
+    net = Network(env)
+    service = Fancy(env, EchoNode(env, net, "srv"))
+    service.start()
+    client = EchoNode(env, net, "cli")
+    got = {}
+
+    def app(env):
+        endpoint = yield env.process(
+            client.sockets.connect("srv", EchoService.PORT)
+        )
+        endpoint.send(Message(kind="ping", size_bytes=16))
+        got["reply"] = yield endpoint.recv()
+
+    env.process(app(env))
+    env.run()
+    assert got["reply"].kind == "fancy-pong"
+
+
+def test_bus_records_only_reach_subscribers():
+    env, service, client = _echo_world()
+    bus = get_bus(env)
+    assert not bus.active
+    records = []
+    detach = bus.subscribe(records.append)
+    assert bus.active
+
+    def app(env):
+        endpoint = yield env.process(
+            client.sockets.connect("srv", EchoService.PORT)
+        )
+        endpoint.send(Message(kind="ping", size_bytes=16))
+        yield endpoint.recv()
+
+    env.process(app(env))
+    env.run()
+    kinds = [r.kind for r in records]
+    assert "msg_received" in kinds and "dispatch" in kinds
+    detach()
+    assert not bus.active
+
+
+def test_metrics_attach_bus_mirrors_events():
+    env, service, client = _echo_world()
+    metrics = Metrics()
+    detach = metrics.attach_bus(get_bus(env))
+
+    def app(env):
+        endpoint = yield env.process(
+            client.sockets.connect("srv", EchoService.PORT)
+        )
+        endpoint.send(Message(kind="ping", size_bytes=16))
+        yield endpoint.recv()
+
+    env.process(app(env))
+    env.run()
+    assert metrics.count("svc.echo-srv.dispatch") == 1
+    assert metrics.count("svc.echo-srv.msg_received") == 1
+    detach()
+
+
+def test_daemon_monitor_and_table():
+    env, service, client = _echo_world()
+    monitor = DaemonMonitor(get_bus(env), keep_records=8)
+
+    def app(env):
+        endpoint = yield env.process(
+            client.sockets.connect("srv", EchoService.PORT)
+        )
+        for _ in range(3):
+            endpoint.send(Message(kind="ping", size_bytes=16))
+            yield endpoint.recv()
+
+    env.process(app(env))
+    env.run()
+    assert monitor.count("echo-srv", "dispatch") == 3
+    assert monitor.records  # ring buffer kept some
+    table = daemon_table(get_bus(env))
+    assert "echo-srv" in table and "running" in table
+    monitor.close()
+    assert monitor.bus.subscribers == []
+
+
+def test_cluster_daemons_all_subclass_service():
+    cluster = make_cluster(compute_nodes=2, iod_nodes=2)
+    assert all(isinstance(s, Service) for s in cluster.services)
+    names = {s.svc_stats.service for s in cluster.services}
+    assert "mgr" in names
+    assert any(n.startswith("iod-") for n in names)
+    assert any(n.startswith("writeback-") for n in names)
+    assert any(n.startswith("cache-") for n in names)
+    # Children (flusher/harvester) ride under their cache module.
+    module = cluster.cache_modules["node0"]
+    assert module.flusher in module._children
+    assert module.harvester in module._children
+
+
+def test_cluster_bus_sees_traffic():
+    cluster = make_cluster(compute_nodes=1, iod_nodes=1)
+    bus = get_bus(cluster.env)
+    monitor = DaemonMonitor(bus)
+    client = cluster.client("node0")
+
+    def app(env):
+        handle = yield from client.open("/f")
+        yield from client.write(handle, 0, 8192)
+        yield from client.read(handle, 0, 8192)
+
+    run_app(cluster, app(cluster.env))
+    assert monitor.count("mgr", "dispatch") == 1
+    assert bus.stats["mgr"].messages_handled == 1
+    # The 8 KiB write was absorbed by the cache; flushing it produces
+    # the iod traffic (FLUSH batches) the bus should have seen.
+    run_app(cluster, cluster.drain_caches())
+    iod_stats = bus.stats["iod-node0"]
+    assert iod_stats.messages_handled >= 1
+    assert iod_stats.busy_s > 0.0
