@@ -1,13 +1,21 @@
 """Benchmark-regression harness gating the engine fast paths.
 
-Tracks two host-side numbers in ``BENCH_engine.json`` at the repo
-root so the perf trajectory is visible across PRs:
+Tracks host-side numbers in ``BENCH_engine.json`` at the repo root so
+the perf trajectory is visible across PRs:
 
 * ``events_per_sec`` — raw event-loop throughput (timeout
   schedule/fire pairs per wall-clock second, best of three);
 * ``fig4_quick_sweep_s`` — end-to-end wall-clock of the quick fig4
   sweep run serially (``REPRO_SWEEP_WORKERS=1``), i.e. the simulator
-  cost of a real figure reproduction with parallelism factored out.
+  cost of a real figure reproduction with parallelism factored out;
+* ``fig4_quick_sweep_fluid_s`` — the same sweep under
+  ``REPRO_NET_MODEL=fluid`` (analytic bandwidth sharing);
+* ``fig4_wire_hub_frames_s`` / ``fig4_wire_hub_fluid_s`` — fig4's
+  transfer pattern (p=4 senders, the figure's request sizes) replayed
+  through the shared-hub network alone, per contention model.  This
+  isolates the network simulation cost the fluid model attacks; the
+  harness additionally *gates the speedup*: the fluid replay must be
+  at least ``FLUID_SPEEDUP_FLOOR``x faster than the frame replay.
 
 If the baseline file is missing — or ``REPRO_BENCH_UPDATE=1`` is set —
 the current numbers are written as the new baseline and the test is
@@ -29,6 +37,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.cluster.config import NET_MODEL_ENV_VAR
 from repro.experiments.parallel import WORKERS_ENV_VAR
 from repro.sim import Environment
 
@@ -41,6 +50,12 @@ UPDATE_ENV_VAR = "REPRO_BENCH_UPDATE"
 #: test fails.  Generous on purpose: the baseline is measured on one
 #: host and compared on many.
 REGRESSION_FACTOR = 2.5
+
+#: The fluid model must keep the fig4 wire replay at least this many
+#: times faster than the frame model.  Measured live (both numbers
+#: from the same host in the same run), so unlike the baseline gates
+#: this ratio is host-independent; observed ~3.5-4x.
+FLUID_SPEEDUP_FLOOR = 2.0
 
 
 def _measure_events_per_sec(n_events: int = 200_000, rounds: int = 3) -> float:
@@ -71,12 +86,82 @@ def _measure_fig4_quick_sweep_s() -> float:
     return time.perf_counter() - t0
 
 
+def _measure_fig4_wire_sweep_s(net_model: str, rounds: int = 3) -> float:
+    """Fig4's transfer pattern through the shared hub alone, best of 3.
+
+    Four senders (fig4's p=4) each stream the figure's request sizes
+    as back-to-back messages over a hub-topology network.  No cache,
+    disk, or PVFS machinery — this is the pure network-simulation cost
+    the fluid model replaces with analytic rate sharing.
+    """
+    from repro.net import FluidFabric, Network, SharedHubFabric
+    from repro.net.message import Message
+
+    senders = 4
+    msgs_per_size = 32
+    sizes = (4096, 65536, 262144, 1048576)
+
+    def replay() -> float:
+        env = Environment()
+        fabric = (
+            FluidFabric(env, mode="hub")
+            if net_model == "fluid"
+            else SharedHubFabric(env)
+        )
+        net = Network(env, fabric=fabric)
+        inboxes = {
+            i: net.register(f"rx{i}", 1) for i in range(senders)
+        }
+
+        def stream(i):
+            for size in sizes:
+                for _ in range(msgs_per_size):
+                    message = Message(
+                        kind="data",
+                        size_bytes=size,
+                        src=f"tx{i}",
+                        dst=f"rx{i}",
+                    )
+                    yield net.deliver(message, inboxes[i])
+                    yield inboxes[i].get()
+
+        for i in range(senders):
+            env.process(stream(i))
+        t0 = time.perf_counter()
+        env.run()
+        elapsed = time.perf_counter() - t0
+        assert (
+            net.messages_delivered == senders * len(sizes) * msgs_per_size
+        )
+        return elapsed
+
+    return min(replay() for _ in range(rounds))
+
+
 def test_engine_regression(monkeypatch):
     monkeypatch.setenv(WORKERS_ENV_VAR, "1")  # comparable across hosts
+    monkeypatch.delenv(NET_MODEL_ENV_VAR, raising=False)
+    wire_frames = _measure_fig4_wire_sweep_s("frames")
+    wire_fluid = _measure_fig4_wire_sweep_s("fluid")
+    fig4_frames = _measure_fig4_quick_sweep_s()
+    monkeypatch.setenv(NET_MODEL_ENV_VAR, "fluid")
+    fig4_fluid = _measure_fig4_quick_sweep_s()
+    monkeypatch.delenv(NET_MODEL_ENV_VAR, raising=False)
     current = {
         "events_per_sec": round(_measure_events_per_sec(), 1),
-        "fig4_quick_sweep_s": round(_measure_fig4_quick_sweep_s(), 3),
+        "fig4_quick_sweep_s": round(fig4_frames, 3),
+        "fig4_quick_sweep_fluid_s": round(fig4_fluid, 3),
+        "fig4_wire_hub_frames_s": round(wire_frames, 4),
+        "fig4_wire_hub_fluid_s": round(wire_fluid, 4),
     }
+    # Host-independent gate: the fluid model's whole point is removing
+    # per-frame events from the wire, so its replay must stay at least
+    # FLUID_SPEEDUP_FLOOR times faster than frame-by-frame simulation.
+    speedup = wire_frames / wire_fluid
+    assert speedup >= FLUID_SPEEDUP_FLOOR, (
+        f"fluid wire replay only {speedup:.2f}x faster than frames "
+        f"(floor {FLUID_SPEEDUP_FLOOR}x)"
+    )
     if os.environ.get(UPDATE_ENV_VAR) or not BASELINE_PATH.exists():
         payload = {
             "comment": (
@@ -95,9 +180,11 @@ def test_engine_regression(monkeypatch):
         f"events/s vs baseline {baseline['events_per_sec']:.0f} "
         f"(floor {floor:.0f})"
     )
-    ceiling = baseline["fig4_quick_sweep_s"] * REGRESSION_FACTOR
-    assert current["fig4_quick_sweep_s"] <= ceiling, (
-        f"fig4 quick sweep regressed: {current['fig4_quick_sweep_s']:.2f}s "
-        f"vs baseline {baseline['fig4_quick_sweep_s']:.2f}s "
-        f"(ceiling {ceiling:.2f}s)"
-    )
+    for key, value in current.items():
+        if not key.endswith("_s") or key not in baseline:
+            continue  # throughput handled above; tolerate stale files
+        ceiling = baseline[key] * REGRESSION_FACTOR
+        assert value <= ceiling, (
+            f"{key} regressed: {value:.3f}s vs baseline "
+            f"{baseline[key]:.3f}s (ceiling {ceiling:.3f}s)"
+        )

@@ -24,7 +24,7 @@ from repro.cache.module import CacheModule
 from repro.cluster.config import ClusterConfig
 from repro.cluster.node import Node
 from repro.metrics import Metrics
-from repro.net import Network, SharedHubFabric, SwitchedFabric
+from repro.net import FluidFabric, Network, SharedHubFabric, SwitchedFabric
 from repro.pvfs.client import PVFSClient
 from repro.pvfs.iod import Iod
 from repro.pvfs.mgr import MetadataServer
@@ -44,18 +44,29 @@ class Cluster:
         self.metrics = Metrics()
         costs = self.config.costs
 
-        fabric_cls = (
-            SharedHubFabric if costs.fabric == "hub" else SwitchedFabric
-        )
-        self.network = Network(
-            self.env,
-            fabric=fabric_cls(
+        # ``costs.fabric`` picks the topology (hub vs switch);
+        # ``net_model`` picks how contention on it is simulated
+        # (frame-by-frame vs analytic fluid sharing, DESIGN.md §12).
+        self.net_model = self.config.resolved_net_model
+        if self.net_model == "fluid":
+            fabric = FluidFabric(
+                self.env,
+                mode=costs.fabric,
+                bandwidth_bps=costs.bandwidth_bps,
+                frame_bytes=costs.frame_bytes,
+                base_latency_s=costs.net_latency_s,
+            )
+        else:
+            fabric_cls = (
+                SharedHubFabric if costs.fabric == "hub" else SwitchedFabric
+            )
+            fabric = fabric_cls(
                 self.env,
                 bandwidth_bps=costs.bandwidth_bps,
                 frame_bytes=costs.frame_bytes,
                 base_latency_s=costs.net_latency_s,
-            ),
-        )
+            )
+        self.network = Network(self.env, fabric=fabric)
 
         compute_names = self.config.compute_node_names()
         iod_names = self.config.iod_node_names()
@@ -168,6 +179,24 @@ class Cluster:
     def run(self, until: _t.Any = None) -> _t.Any:
         """Convenience passthrough to ``env.run``."""
         return self.env.run(until=until)
+
+    def record_network_metrics(self) -> dict[str, _t.Any]:
+        """Fold the fabric's contention snapshot into :class:`Metrics`.
+
+        Integer counters become ``net.*`` counters and the wire-busy
+        time a ``net.wire_busy_s`` sample, so experiment harnesses (and
+        ``RunOutcome.counters``) can report network saturation next to
+        cache statistics.  Returns the raw snapshot.
+        """
+        snap = self.network.stats_snapshot()
+        for key, value in snap.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if isinstance(value, int):
+                self.metrics.inc(f"net.{key}", value)
+            else:
+                self.metrics.record(f"net.{key}", value)
+        return snap
 
     def drain_caches(self) -> _t.Generator:
         """Process body: flush every node's dirty blocks (tests)."""

@@ -13,6 +13,18 @@ benchmarks.
 from __future__ import annotations
 
 import dataclasses
+import os
+
+#: Environment variable selecting the default network model for
+#: clusters whose config leaves ``net_model`` unset (``frames`` or
+#: ``fluid``).  Lets ``python -m repro.experiments --net-model fluid``
+#: reach every cluster built inside parallel sweep workers.
+NET_MODEL_ENV_VAR = "REPRO_NET_MODEL"
+
+#: Recognised network models: ``frames`` simulates every frame on the
+#: wire (the validated default), ``fluid`` shares bandwidth
+#: analytically and only generates events on flow churn.
+NET_MODELS = ("frames", "fluid")
 
 
 @dataclasses.dataclass
@@ -163,12 +175,23 @@ class ClusterConfig:
     pagecache_blocks: int = 16384
     #: Whether compute nodes run the kernel cache module.
     caching: bool = True
+    #: Network model: ``"frames"`` (frame-by-frame, the validated
+    #: default), ``"fluid"`` (analytic max-min bandwidth sharing, see
+    #: DESIGN.md §12), or ``None`` to defer to ``REPRO_NET_MODEL``
+    #: falling back to frames.  Orthogonal to ``CostModel.fabric``:
+    #: that picks the topology (hub/switch), this picks how contention
+    #: on it is simulated.
+    net_model: str | None = None
     cache: CacheConfig = dataclasses.field(default_factory=CacheConfig)
     costs: CostModel = dataclasses.field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
         if self.compute_nodes < 1 or self.iod_nodes < 1:
             raise ValueError("need at least one compute and one iod node")
+        if self.net_model is not None and self.net_model not in NET_MODELS:
+            raise ValueError(
+                f"unknown net_model {self.net_model!r}; have {NET_MODELS}"
+            )
         if self.stripe_size <= 0:
             raise ValueError("stripe size must be positive")
         if self.stripe_size % self.cache.block_size != 0:
@@ -176,6 +199,20 @@ class ClusterConfig:
                 "stripe size must be a multiple of the cache block size "
                 f"({self.stripe_size} % {self.cache.block_size} != 0)"
             )
+
+    @property
+    def resolved_net_model(self) -> str:
+        """The effective network model for this cluster.
+
+        An explicit ``net_model`` wins; otherwise ``REPRO_NET_MODEL``
+        chooses, and with neither set the validated frame model runs.
+        """
+        model = self.net_model or os.environ.get(NET_MODEL_ENV_VAR) or "frames"
+        if model not in NET_MODELS:
+            raise ValueError(
+                f"{NET_MODEL_ENV_VAR}={model!r} is not one of {NET_MODELS}"
+            )
+        return model
 
     def compute_node_names(self) -> list[str]:
         """Names of the compute nodes."""

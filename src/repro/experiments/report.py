@@ -8,10 +8,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 import typing as _t
 
+from repro.cluster.config import NET_MODEL_ENV_VAR, NET_MODELS
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
@@ -79,6 +81,7 @@ def daemon_summary(stream: _t.TextIO = sys.stdout) -> str:
     bus = get_bus(cluster.env)
     monitor = DaemonMonitor(bus)
     cluster.metrics.attach_bus(bus)
+    cluster.network.attach_bus(bus)
 
     def app(node: str, path: str) -> _t.Generator:
         client = cluster.client(node)
@@ -100,8 +103,16 @@ def daemon_summary(stream: _t.TextIO = sys.stdout) -> str:
         for (_svc, kind), count in monitor.event_counts.items()
         if kind == "dispatch"
     )
+    net = cluster.record_network_metrics()
     print(table, file=stream)
     print(f"\n[{dispatches} dispatches observed on the bus]", file=stream)
+    print(
+        "[network: {model}, {messages_delivered} messages, "
+        "{bytes_transferred} bytes, wire busy {wire_busy_s:.4f}s]".format(
+            **net
+        ),
+        file=stream,
+    )
     monitor.close()
     return table
 
@@ -161,7 +172,20 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         action="store_true",
         help="run a small workload and print the per-daemon summary",
     )
+    parser.add_argument(
+        "--net-model",
+        choices=NET_MODELS,
+        default=None,
+        help=(
+            "network contention model: 'frames' (validated default) or "
+            "'fluid' (analytic bandwidth sharing, much faster sweeps)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.net_model:
+        # Via the environment so parallel sweep workers inherit it —
+        # every ClusterConfig built anywhere in this run resolves it.
+        os.environ[NET_MODEL_ENV_VAR] = args.net_model
     if args.daemons:
         daemon_summary()
         return 0

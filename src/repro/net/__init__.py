@@ -13,6 +13,7 @@ kernel cache module intercepts.
 """
 
 from repro.net.fabric import Fabric, SharedHubFabric, SwitchedFabric
+from repro.net.fluid import FluidFabric
 from repro.net.hub import Hub
 from repro.net.message import Message
 from repro.net.network import Network
@@ -22,6 +23,7 @@ __all__ = [
     "Connection",
     "Endpoint",
     "Fabric",
+    "FluidFabric",
     "Hub",
     "ListenQueue",
     "Message",

@@ -32,6 +32,20 @@ class Fabric:
     env: Environment
     bytes_transferred: int
 
+    def stats_snapshot(self) -> dict[str, _t.Any]:
+        """Contention counters for metrics export.
+
+        Concrete fabrics override with their model's notion of queue
+        depth and wire-busy time; this default keeps third-party
+        fabrics working with the network's instrumentation hooks.
+        """
+        return {
+            "model": type(self).__name__,
+            "bytes_transferred": self.bytes_transferred,
+            "utilization_queue": getattr(self, "utilization_queue", 0),
+            "wire_busy_s": getattr(self, "wire_busy_s", 0.0),
+        }
+
     def transmit(
         self, src: str, dst: str, size_bytes: int
     ) -> _t.Generator:  # pragma: no cover - interface
@@ -61,6 +75,24 @@ class SharedHubFabric(Fabric):
     def bytes_transferred(self) -> int:
         """Bytes that crossed the medium."""
         return self.hub.bytes_transferred
+
+    @property
+    def utilization_queue(self) -> int:
+        """Frames currently waiting for the medium."""
+        return self.hub.utilization_queue
+
+    @property
+    def wire_busy_s(self) -> float:
+        """Seconds the shared medium spent carrying frames."""
+        return self.hub.wire_busy_s
+
+    def transfer_time_unloaded(self, size_bytes: int) -> float:
+        """Transfer time on an idle hub (per-frame framing included)."""
+        return self.hub.transfer_time_unloaded(size_bytes)
+
+    def stats_snapshot(self) -> dict[str, _t.Any]:
+        """Contention counters for metrics export."""
+        return self.hub.stats_snapshot()
 
     def transmit(self, src: str, dst: str, size_bytes: int) -> _t.Generator:
         """Occupy the single shared medium."""
@@ -95,6 +127,8 @@ class SwitchedFabric(Fabric):
         self._rx: dict[str, Resource] = {}
         self.bytes_transferred = 0
         self.frames_transferred = 0
+        #: Simulated seconds of frame wire time across all ports.
+        self.wire_busy_s = 0.0
 
     def _channel(self, table: dict[str, Resource], node: str) -> Resource:
         if node not in table:
@@ -106,8 +140,32 @@ class SwitchedFabric(Fabric):
         return nbytes * 8.0 / self.bandwidth_bps
 
     def transfer_time_unloaded(self, size_bytes: int) -> float:
-        """Lower-bound transfer time on idle links."""
-        return self.base_latency_s + self.frame_time(size_bytes)
+        """Transfer time on idle links.
+
+        Includes the per-frame framing :meth:`transmit` charges: every
+        frame carries at least one byte, so a zero-byte message still
+        pays one minimum-size frame on the wire.
+        """
+        return self.base_latency_s + self.frame_time(max(size_bytes, 1))
+
+    @property
+    def utilization_queue(self) -> int:
+        """Frames waiting across all TX/RX ports (contention probe)."""
+        return sum(
+            ch.queue_length
+            for table in (self._tx, self._rx)
+            for ch in table.values()
+        )
+
+    def stats_snapshot(self) -> dict[str, _t.Any]:
+        """Contention counters for metrics export (see DESIGN.md §12)."""
+        return {
+            "model": "frames-switch",
+            "bytes_transferred": self.bytes_transferred,
+            "frames_transferred": self.frames_transferred,
+            "utilization_queue": self.utilization_queue,
+            "wire_busy_s": self.wire_busy_s,
+        }
 
     def fast_transmit(
         self,
@@ -137,18 +195,19 @@ class SwitchedFabric(Fabric):
         rx_req = rx.request()
         env = self.env
 
+        wire_s = self.frame_time(max(size_bytes, 1))
+
         def _frame_done(_ev: object) -> None:
             tx.release(tx_req)
             rx.release(rx_req)
             self.bytes_transferred += size_bytes
             self.frames_transferred += 1
+            self.wire_busy_s += wire_s
             Timeout(env, self.base_latency_s).callbacks.append(
                 lambda _e: deliver()
             )
 
-        Timeout(env, self.frame_time(max(size_bytes, 1))).callbacks.append(
-            _frame_done
-        )
+        Timeout(env, wire_s).callbacks.append(_frame_done)
         return True
 
     def transmit(self, src: str, dst: str, size_bytes: int) -> _t.Generator:
@@ -162,11 +221,13 @@ class SwitchedFabric(Fabric):
         for _ in range(nframes):
             chunk = min(self.frame_bytes, remaining) if remaining else 0
             remaining -= chunk
+            wire_s = self.frame_time(max(chunk, 1))
             with tx.request() as tx_req:
                 yield tx_req
                 with rx.request() as rx_req:
                     yield rx_req
-                    yield self.env.timeout(self.frame_time(max(chunk, 1)))
+                    yield self.env.timeout(wire_s)
             self.bytes_transferred += chunk
             self.frames_transferred += 1
+            self.wire_busy_s += wire_s
         yield self.env.timeout(self.base_latency_s)

@@ -1,0 +1,319 @@
+"""Fluid (analytic) bandwidth-sharing network model.
+
+The frame-based fabrics in :mod:`repro.net.hub` and
+:mod:`repro.net.fabric` simulate every transfer frame by frame: a 1 MB
+message through the shared hub costs ~16 resource-acquire / timeout /
+release event triples, so the *network* — not the cache — dominates
+event counts in the fig4–fig8 sweeps.  Mature simulators (SimGrid,
+WRENCH) instead use a *fluid* model: treat each in-flight transfer as
+a flow with an analytic rate, and recompute rates only when the set of
+active flows changes.  That is O(flow churn) events instead of
+O(total bytes / frame size).
+
+:class:`FluidFabric` implements max-min fair sharing over the same two
+topologies the frame models cover:
+
+* ``mode="hub"`` — one shared link; max-min degenerates to an equal
+  split, ``C / n`` per flow, exactly the steady state the hub's FIFO
+  frame interleaving approximates.
+* ``mode="switch"`` — full-duplex per-port links; a flow crosses the
+  sender's TX link and the receiver's RX link, and rates come from
+  progressive filling (water-filling): repeatedly find the bottleneck
+  link, freeze its flows at the fair share, subtract, repeat.
+
+Event shape per message: one rate recompute at arrival (pure Python,
+no events), one :class:`~repro.sim.events.Timer` fire at the earliest
+completion (shared by all flows, re-armed on churn), and one base
+latency :class:`~repro.sim.events.Timeout` per delivery.
+
+Known divergence from the frame models, documented in DESIGN.md §12:
+the switch frame model holds the sender's TX port while waiting for
+the receiver's RX port (head-of-line blocking); max-min has no such
+coupling, so heavily fan-in-contended switch scenarios can complete in
+a different order.  Completion *times* still agree within a few
+percent in the scenarios `tests/test_net_fluid.py` sweeps, because
+per-flow throughput is bandwidth-limited either way.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.net.fabric import Fabric
+from repro.sim import Environment, Event, Timeout, Timer
+
+#: A flow whose remaining volume falls below this many bytes at a
+#: timer fire is complete.  Float drift in ``remaining -= rate * dt``
+#: is bounded by ~1e-10 bytes for megabyte flows; a real sub-byte
+#: remainder this small is < 1e-13 s of wire time away from done.
+_EPS_BYTES = 1e-6
+
+MODES = ("hub", "switch")
+
+
+class _Flow:
+    """One in-flight transfer under the fluid model."""
+
+    __slots__ = ("fid", "size", "remaining", "rate", "links", "deliver")
+
+    def __init__(
+        self,
+        fid: int,
+        size: int,
+        volume: float,
+        links: tuple,
+        deliver: _t.Callable[[], None],
+    ) -> None:
+        self.fid = fid
+        #: Requested bytes (what accounting reports).
+        self.size = size
+        #: Bytes still to serve (>= 1 even for empty messages, matching
+        #: the frame models' one-minimum-frame charge).
+        self.remaining = volume
+        #: Current max-min share, bytes/second.
+        self.rate = 0.0
+        #: Link keys this flow crosses.
+        self.links = links
+        self.deliver = deliver
+
+
+class FluidFabric(Fabric):
+    """Max-min fair-share fabric: analytic rates, event-minimal.
+
+    API-compatible with the frame fabrics: :meth:`transmit` is the
+    generator seam :class:`~repro.net.network.Network` falls back to,
+    and :meth:`fast_transmit` — which here covers *every* transfer, not
+    just idle single-frame ones — is the callback path it prefers, so
+    no per-message :class:`~repro.sim.process.Process` is ever spawned.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        mode: str = "switch",
+        bandwidth_bps: float = 100e6,
+        frame_bytes: int = 65536,
+        base_latency_s: float = 100e-6,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown fluid mode {mode!r}; have {MODES}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if frame_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {frame_bytes}")
+        self.env = env
+        self.mode = mode
+        self.bandwidth_bps = float(bandwidth_bps)
+        #: Kept for config parity with the frame fabrics; the fluid
+        #: model itself never fragments (its only role here is the
+        #: documented tolerance of the equivalence tests).
+        self.frame_bytes = int(frame_bytes)
+        self.base_latency_s = float(base_latency_s)
+        #: Link capacity, bytes per second.
+        self._cap_Bps = self.bandwidth_bps / 8.0
+        #: Active flows, keyed by monotone per-fabric flow id
+        #: (insertion order == deterministic iteration order).
+        self._flows: dict[int, _Flow] = {}
+        self._next_fid = 1
+        #: Simulated time the flow volumes were last integrated to.
+        self._last_update = env.now
+        self._timer: Timer = env.timer(self._on_timer)
+        # -- contention stats (metrics / instrumentation hooks) ------------
+        self.bytes_transferred = 0
+        self.flows_started = 0
+        self.flows_completed = 0
+        self.peak_active_flows = 0
+        #: Simulated seconds with at least one active flow.
+        self.wire_busy_s = 0.0
+        self._busy_since: float | None = None
+
+    # -- timing helpers (frame-fabric-compatible signatures) ---------------
+    def frame_time(self, nbytes: int) -> float:
+        """Wire time for ``nbytes`` at full link rate."""
+        return nbytes * 8.0 / self.bandwidth_bps
+
+    def transfer_time_unloaded(self, size_bytes: int) -> float:
+        """Transfer time if no other flow is active."""
+        return self.base_latency_s + self.frame_time(max(size_bytes, 1))
+
+    # -- contention probes ---------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        """Flows currently sharing the fabric."""
+        return len(self._flows)
+
+    @property
+    def utilization_queue(self) -> int:
+        """Flows beyond the first (contention-depth probe).
+
+        The frame hub reports frames *waiting* for the medium; the
+        fluid analogue is how many concurrent flows are squeezing each
+        other below full rate.
+        """
+        return max(0, len(self._flows) - 1)
+
+    def stats_snapshot(self) -> dict[str, _t.Any]:
+        """Contention counters for metrics export (see DESIGN.md §12)."""
+        busy = self.wire_busy_s
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        return {
+            "model": f"fluid-{self.mode}",
+            "bytes_transferred": self.bytes_transferred,
+            "flows_started": self.flows_started,
+            "flows_completed": self.flows_completed,
+            "active_flows": len(self._flows),
+            "peak_active_flows": self.peak_active_flows,
+            "utilization_queue": self.utilization_queue,
+            "wire_busy_s": busy,
+        }
+
+    # -- transfer entry points ---------------------------------------------
+    def fast_transmit(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        deliver: _t.Callable[[], None],
+    ) -> bool:
+        """Callback path: every fluid transfer qualifies."""
+        self.start_flow(src, dst, size_bytes, deliver)
+        return True
+
+    def transmit(self, src: str, dst: str, size_bytes: int) -> _t.Generator:
+        """Generator seam for callers that yield through the fabric."""
+        done = Event(self.env)
+        self.start_flow(src, dst, size_bytes, lambda: done.succeed())
+        yield done
+
+    def start_flow(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        deliver: _t.Callable[[], None],
+    ) -> None:
+        """Admit one flow; ``deliver`` runs when its last bit lands
+        (wire completion + base latency, like the frame models)."""
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size {size_bytes}")
+        self._integrate()
+        links = self._links_of(src, dst)
+        fid = self._next_fid
+        self._next_fid += 1
+        # A zero-byte message still occupies the wire for its framing
+        # (the frame models charge one minimum-size frame).
+        flow = _Flow(fid, size_bytes, float(max(size_bytes, 1)), links, deliver)
+        if not self._flows:
+            self._busy_since = self.env.now
+        self._flows[fid] = flow
+        self.flows_started += 1
+        if len(self._flows) > self.peak_active_flows:
+            self.peak_active_flows = len(self._flows)
+        self._reshare()
+        self._rearm()
+
+    # -- fluid mechanics -------------------------------------------------------
+    def _links_of(self, src: str, dst: str) -> tuple:
+        if self.mode == "hub":
+            return ("medium",)
+        return (("tx", src), ("rx", dst))
+
+    def _integrate(self) -> None:
+        """Drain each flow's volume at its current rate up to ``now``."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt > 0.0:
+            for flow in self._flows.values():
+                remaining = flow.remaining - flow.rate * dt
+                flow.remaining = remaining if remaining > 0.0 else 0.0
+        self._last_update = now
+
+    def _reshare(self) -> None:
+        """Recompute every active flow's max-min fair share."""
+        flows = self._flows
+        if not flows:
+            return
+        if self.mode == "hub":
+            share = self._cap_Bps / len(flows)
+            for flow in flows.values():
+                flow.rate = share
+            return
+        # Progressive filling over the per-port links.  Typically a
+        # handful of flows and twice as many links, so the quadratic
+        # worst case is irrelevant.
+        cap: dict[tuple, float] = {}
+        members: dict[tuple, list[_Flow]] = {}
+        for flow in flows.values():
+            for link in flow.links:
+                if link not in cap:
+                    cap[link] = self._cap_Bps
+                    members[link] = []
+                members[link].append(flow)
+        unfrozen = dict.fromkeys(flows)  # fid -> None, insertion order
+        while unfrozen:
+            bottleneck_share = min(
+                cap[link] / len(mem)
+                for link, mem in members.items()
+                if mem
+            )
+            # Freeze every unfrozen flow on every link at the
+            # bottleneck share (ties freeze together, deterministically
+            # in link-creation order).  The relative slack absorbs
+            # ulp-level drift from earlier capacity subtractions — a
+            # mathematically tied link left unfrozen would strand its
+            # flows on ~zero residual capacity.
+            threshold = bottleneck_share * (1.0 + 1e-9)
+            frozen: list[_Flow] = []
+            for link, mem in members.items():
+                if mem and cap[link] / len(mem) <= threshold:
+                    frozen.extend(mem)
+            for flow in frozen:
+                if flow.fid not in unfrozen:
+                    continue  # crossed two bottleneck links
+                del unfrozen[flow.fid]
+                flow.rate = bottleneck_share
+                for link in flow.links:
+                    members[link].remove(flow)
+                    cap[link] -= bottleneck_share
+            # Paranoia: progressive filling always freezes at least
+            # one flow per round, so this loop terminates.
+            assert frozen
+
+    def _rearm(self) -> None:
+        """Point the shared timer at the earliest flow completion."""
+        if not self._flows:
+            self._timer.cancel()
+            return
+        now = self.env.now
+        earliest = min(
+            now + flow.remaining / flow.rate for flow in self._flows.values()
+        )
+        self._timer.arm_at(earliest)
+
+    def _on_timer(self, _timer: Timer) -> None:
+        """Complete every flow that has drained; re-share the rest."""
+        self._integrate()
+        finished = [
+            flow
+            for flow in self._flows.values()
+            if flow.remaining <= _EPS_BYTES
+        ]
+        env = self.env
+        for flow in finished:
+            del self._flows[flow.fid]
+            self.bytes_transferred += flow.size
+            self.flows_completed += 1
+            # The last bit has left the wire; the fixed per-message
+            # cost (interrupt, protocol stack, propagation) still
+            # applies before the receiver sees it, as in the frame
+            # models.  Default-arg binding keeps each closure on its
+            # own flow.
+            Timeout(env, self.base_latency_s).callbacks.append(
+                lambda _ev, deliver=flow.deliver: deliver()
+            )
+        if not self._flows and self._busy_since is not None:
+            self.wire_busy_s += env.now - self._busy_since
+            self._busy_since = None
+        self._reshare()
+        self._rearm()

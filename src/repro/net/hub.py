@@ -40,14 +40,24 @@ class Hub:
         #: Cumulative bytes that crossed the medium (metrics hook).
         self.bytes_transferred = 0
         self.frames_transferred = 0
+        #: Simulated seconds the medium spent carrying frames.
+        self.wire_busy_s = 0.0
 
     def frame_time(self, nbytes: int) -> float:
         """Wire time for one frame of ``nbytes``."""
         return nbytes * 8.0 / self.bandwidth_bps
 
     def transfer_time_unloaded(self, size_bytes: int) -> float:
-        """Lower-bound transfer time if no one else is using the hub."""
-        return self.base_latency_s + self.frame_time(size_bytes)
+        """Transfer time if no one else is using the hub.
+
+        Matches what :meth:`transmit` charges frame by frame: each
+        re-acquisition of the medium carries at least one minimum-size
+        frame, so even a zero-byte message pays one byte of framing on
+        the wire.  (Partial final frames charge their actual bytes, so
+        for ``size_bytes >= 1`` the per-frame sum telescopes to the
+        whole message's wire time.)
+        """
+        return self.base_latency_s + self.frame_time(max(size_bytes, 1))
 
     def transmit(self, size_bytes: int) -> _t.Generator:
         """Process body: occupy the medium for ``size_bytes``.
@@ -64,14 +74,26 @@ class Hub:
         for _ in range(nframes):
             chunk = min(self.frame_bytes, remaining) if remaining else 0
             remaining -= chunk
+            wire_s = self.frame_time(max(chunk, 1))
             with self._medium.request() as req:
                 yield req
-                yield self.env.timeout(self.frame_time(max(chunk, 1)))
+                yield self.env.timeout(wire_s)
             self.bytes_transferred += chunk
             self.frames_transferred += 1
+            self.wire_busy_s += wire_s
         yield self.env.timeout(self.base_latency_s)
 
     @property
     def utilization_queue(self) -> int:
         """Frames currently waiting for the medium (contention probe)."""
         return self._medium.queue_length
+
+    def stats_snapshot(self) -> dict[str, _t.Any]:
+        """Contention counters for metrics export (see DESIGN.md §12)."""
+        return {
+            "model": "frames-hub",
+            "bytes_transferred": self.bytes_transferred,
+            "frames_transferred": self.frames_transferred,
+            "utilization_queue": self._medium.queue_length,
+            "wire_busy_s": self.wire_busy_s,
+        }

@@ -28,6 +28,39 @@ class Network:
         #: Loopback messages never touch the fabric but still pay a
         #: small local protocol cost (localhost TCP is not free).
         self.loopback_latency_s = 20e-6
+        #: ServiceStats row on the svc instrumentation bus, when a
+        #: monitor attached one (see :meth:`attach_bus`).
+        self._svc_stats: _t.Any = None
+
+    # -- instrumentation -----------------------------------------------------
+    def attach_bus(self, bus: _t.Any) -> None:
+        """Register a ``network`` row on a svc instrumentation bus.
+
+        The wire is not a :class:`~repro.svc.service.Service`, but its
+        saturation belongs in the same per-daemon report: the row's
+        ``handled`` is messages delivered, ``q-high`` the deepest
+        contention the fabric ever saw (waiting frames for the frame
+        models, concurrent flows beyond the first for the fluid model),
+        and ``busy(s)`` the fabric's cumulative wire-busy time.
+        """
+        stats = bus.register("network")
+        stats.state = "running"
+        stats.messages_handled = self.messages_delivered
+        self._svc_stats = stats
+
+    def _note_delivery(self) -> None:
+        """Per-delivery bookkeeping (bus row, when attached)."""
+        self.messages_delivered += 1
+        stats = self._svc_stats
+        if stats is not None:
+            stats.messages_handled = self.messages_delivered
+            stats.busy_s = getattr(self.fabric, "wire_busy_s", 0.0)
+
+    def stats_snapshot(self) -> dict[str, _t.Any]:
+        """Fabric contention counters plus delivery totals."""
+        snap = dict(self.fabric.stats_snapshot())
+        snap["messages_delivered"] = self.messages_delivered
+        return snap
 
     # -- endpoints ---------------------------------------------------------
     def register(self, node: str, port: int) -> Store:
@@ -74,6 +107,13 @@ class Network:
                 lambda _ev: self._finish_delivery(message, inbox, done)
             )
             return done
+        stats = self._svc_stats
+        if stats is not None:
+            # Sample contention as the message joins the wire — by
+            # delivery time its own share of the queue has drained.
+            depth = getattr(self.fabric, "utilization_queue", 0)
+            if depth > stats.queue_high_water:
+                stats.queue_high_water = depth
         fast = getattr(self.fabric, "fast_transmit", None)
         if fast is not None:
             done = Event(env)
@@ -96,7 +136,7 @@ class Network:
         inbox to admit the message if it is at capacity)."""
 
         def _admitted(_ev: Event) -> None:
-            self.messages_delivered += 1
+            self._note_delivery()
             done.succeed(message)
 
         inbox.put(message).add_callback(_admitted)
@@ -109,5 +149,5 @@ class Network:
                 message.src, message.dst, message.wire_bytes
             )
         yield inbox.put(message)
-        self.messages_delivered += 1
+        self._note_delivery()
         return message

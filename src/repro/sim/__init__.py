@@ -19,6 +19,7 @@ from repro.sim.events import (
     Event,
     Interrupt,
     Timeout,
+    Timer,
 )
 from repro.sim.process import Process, ProcessKilled
 from repro.sim.resources import Lock, Resource, Store
@@ -35,4 +36,5 @@ __all__ = [
     "Resource",
     "Store",
     "Timeout",
+    "Timer",
 ]

@@ -7,7 +7,7 @@ import heapq
 import os
 import typing as _t
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, Timer
 from repro.sim.process import Process
 
 #: Environment variable: when truthy, every new :class:`Environment`
@@ -89,6 +89,17 @@ class Environment:
     def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
         """An event firing ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def timer(self, on_fire: _t.Callable[[Timer], None]) -> Timer:
+        """A reschedulable timer calling ``on_fire(timer)`` when it fires.
+
+        Unlike :meth:`timeout`, the returned :class:`Timer` starts
+        idle — call :meth:`~repro.sim.events.Timer.arm` — and can be
+        cancelled and re-armed indefinitely without allocating a new
+        event per deadline change (see its docstring for the lazy
+        cancellation contract).
+        """
+        return Timer(self, on_fire)
 
     def process(self, generator: _t.Generator, name: str | None = None) -> Process:
         """Spawn ``generator`` as a new simulation process."""

@@ -156,6 +156,110 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay}>"
 
 
+class Timer(Event):
+    """A reschedulable timeout: one event object, re-armed many times.
+
+    A :class:`Timeout` is single-shot — every deadline change costs a
+    fresh allocation and the abandoned event still fires.  A ``Timer``
+    instead supports ``cancel()`` + ``arm()`` on the same object, which
+    is what analytic (fluid) models need: the set of active flows
+    changes, the predicted completion time moves, and the one pending
+    timer follows it.
+
+    Cancellation is *lazy*: the heap entry of a cancelled or superseded
+    arm stays queued and is discarded as a no-op when it pops (a heap
+    cannot cheaply remove an interior entry).  Correctness relies on
+    two facts: an entry only fires when the timer is currently armed
+    *for exactly the popped timestamp*, and :meth:`arm` never queues a
+    second entry for a deadline that already has one pending — so a
+    cancel + re-arm to the same instant reuses the queued entry instead
+    of racing it.  Every push goes through the environment's monotone
+    sequence counter, so tie-breaking against other same-time events is
+    deterministic run over run.
+
+    Firing calls ``on_fire(timer)``; the timer does not use the
+    ``succeed``/callback protocol of one-shot events and must not be
+    ``yield``-ed by a process (arm a fresh :class:`Timeout` instead).
+    After firing the timer is disarmed and may be re-armed immediately,
+    including from inside ``on_fire``.
+
+    One observable consequence of lazy cancellation: a stale entry
+    keeps the event heap non-empty until its old deadline, so a
+    ``run()`` to exhaustion may advance the clock past the last *real*
+    event.  Runs that stop on an event or at a time are unaffected.
+    """
+
+    __slots__ = ("on_fire", "_deadline", "_armed", "_queued")
+
+    def __init__(
+        self,
+        env: "Environment",
+        on_fire: _t.Callable[["Timer"], None],
+    ) -> None:
+        super().__init__(env)
+        self.on_fire = on_fire
+        self._deadline = 0.0
+        self._armed = False
+        #: Timestamps with a heap entry pending for this timer.  At
+        #: most one per distinct deadline; usually zero or one entries
+        #: total, so a list beats a set.
+        self._queued: list[float] = []
+
+    # -- state inspection --------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        """True while a fire is scheduled."""
+        return self._armed
+
+    @property
+    def deadline(self) -> float:
+        """The pending fire time (meaningless unless :attr:`armed`)."""
+        return self._deadline
+
+    # -- arming ------------------------------------------------------------
+    def arm(self, delay: float) -> None:
+        """(Re-)schedule the fire ``delay`` time units from now.
+
+        Re-arming an armed timer supersedes the previous deadline
+        without allocating anything; the stale heap entry (if its
+        timestamp differs) is discarded when it pops.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.arm_at(self.env._now + delay)
+
+    def arm_at(self, deadline: float) -> None:
+        """(Re-)schedule the fire at absolute time ``deadline``."""
+        env = self.env
+        if deadline < env._now:
+            raise ValueError(
+                f"deadline {deadline} is in the past (now={env._now})"
+            )
+        self._armed = True
+        self._deadline = deadline
+        if deadline not in self._queued:
+            self._queued.append(deadline)
+            env._seq += 1
+            _heappush(env._heap, (deadline, 1, env._seq, self))
+
+    def cancel(self) -> None:
+        """Unschedule the pending fire (no-op when not armed)."""
+        self._armed = False
+
+    # -- engine hook ---------------------------------------------------------
+    def _process(self) -> None:
+        # One queued entry (the one for the current instant) has
+        # popped; it fires only if it is still the armed deadline.
+        self._queued.remove(self.env._now)
+        if self._armed and self._deadline == self.env._now:
+            self._armed = False
+            self.on_fire(self)
+
+    def __repr__(self) -> str:
+        state = f"armed t={self._deadline}" if self._armed else "idle"
+        return f"<Timer {state} at {id(self):#x}>"
+
+
 class Interrupt(Exception):
     """Raised inside a process that another process interrupted.
 

@@ -61,6 +61,7 @@ def run_instances(
     start = env.now
     env.run(until=done)
     total = env.now - start
+    cluster.record_network_metrics()  # net.* saturation counters
     metrics = cluster.metrics
     return RunOutcome(
         instances=[
