@@ -16,6 +16,15 @@ the perf trajectory is visible across PRs:
   isolates the network simulation cost the fluid model attacks; the
   harness additionally *gates the speedup*: the fluid replay must be
   at least ``FLUID_SPEEDUP_FLOOR``x faster than the frame replay.
+* ``disk_replay_mech_s`` / ``disk_replay_queued_s`` — the iod miss
+  path (bulk page-cache probe + coalesced ``io_batch``) replayed
+  against the disk stack alone, per disk model.  Gated live like the
+  wire replay: the queued model must stay at least
+  ``DISK_SPEEDUP_FLOOR``x faster than the mechanical spindle.
+* ``disk_cold_sweep_mech_s`` / ``disk_cold_sweep_queued_s`` — a quick
+  fig5/fig8-style cold-cache read sweep through the full cluster with
+  the page cache disabled (disk-bound end to end), per disk model;
+  the queued model must beat the mechanical one outright.
 
 If the baseline file is missing — or ``REPRO_BENCH_UPDATE=1`` is set —
 the current numbers are written as the new baseline and the test is
@@ -37,7 +46,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.cluster.config import NET_MODEL_ENV_VAR
+from repro.cluster.config import DISK_MODEL_ENV_VAR, NET_MODEL_ENV_VAR
 from repro.experiments.parallel import WORKERS_ENV_VAR
 from repro.sim import Environment
 
@@ -56,6 +65,14 @@ REGRESSION_FACTOR = 2.5
 #: from the same host in the same run), so unlike the baseline gates
 #: this ratio is host-independent; observed ~3.5-4x.
 FLUID_SPEEDUP_FLOOR = 2.0
+
+#: The queued disk model must keep the iod-miss-path replay at least
+#: this many times faster than the mechanical spindle.  Also measured
+#: live from the same host in the same run; observed well above the
+#: floor (the mechanical model pays a process spawn + Resource
+#: round-trip per coalesced run, the queued model two heap events per
+#: batch).
+DISK_SPEEDUP_FLOOR = 2.0
 
 
 def _measure_events_per_sec(n_events: int = 200_000, rounds: int = 3) -> float:
@@ -138,11 +155,113 @@ def _measure_fig4_wire_sweep_s(net_model: str, rounds: int = 3) -> float:
     return min(replay() for _ in range(rounds))
 
 
+def _measure_disk_replay_s(disk_model: str, rounds: int = 3) -> float:
+    """The iod miss path against the disk stack alone, best of 3.
+
+    Four readers sweep disjoint regions whose *odd* blocks are already
+    page-cache resident, so every 16-block request coalesces into 8
+    single-block runs — the worst case for per-run process + Resource
+    simulation and exactly the pattern
+    :meth:`repro.pvfs.iod.Iod._ensure_resident` drives: one
+    ``lookup_many`` probe, one ``io_batch`` call, residency inserted
+    per run as it lands.
+    """
+    from repro.disk import DiskModel, PageCache, QueuedDiskModel
+
+    readers = 4
+    requests = 64
+    span = 16  # blocks per request
+    block = 4096
+    disk_cls = QueuedDiskModel if disk_model == "queued" else DiskModel
+
+    def replay() -> float:
+        env = Environment()
+        disk = disk_cls(env)
+        pagecache = PageCache(capacity_blocks=readers * requests * span)
+        for r in range(readers):
+            base = r * requests * span
+            for resident in range(base + 1, base + requests * span, 2):
+                pagecache.insert(0, resident)
+
+        def reader(r):
+            base = r * requests * span
+            for i in range(requests):
+                first = base + i * span
+                _hits, runs = pagecache.lookup_many(
+                    0, range(first, first + span)
+                )
+                if not runs:
+                    continue
+                yield from disk.io_batch(
+                    0,
+                    [(f * block, n * block) for f, n in runs],
+                    on_run_complete=lambda j, runs=runs: pagecache.insert_many(
+                        0, runs[j][0], runs[j][1]
+                    ),
+                )
+
+        for r in range(readers):
+            env.process(reader(r))
+        t0 = time.perf_counter()
+        env.run()
+        elapsed = time.perf_counter() - t0
+        assert disk.reads == readers * requests * span // 2
+        return elapsed
+
+    return min(replay() for _ in range(rounds))
+
+
+def _measure_disk_cold_sweep_s(disk_model: str, rounds: int = 2) -> float:
+    """A quick fig5/fig8-style cold-cache sweep, end to end (best of 2).
+
+    Four uncached compute nodes stream reads through the full PVFS
+    stack with the iod page caches disabled, so every request reaches
+    the disk model — the disk-bound regime the queued model attacks.
+    Runs under the fluid network model so the comparison isolates the
+    storage layer's event budget (the frame model's per-frame events
+    would dominate the wall clock and drown the disk's share).
+    """
+    from repro.cluster.config import ClusterConfig
+    from repro.workload import MicroBenchParams, run_instances
+
+    total_bytes = 2 * 2**20
+
+    def one_sweep() -> float:
+        t0 = time.perf_counter()
+        for d in (16384, 65536, 262144):
+            config = ClusterConfig(
+                compute_nodes=4,
+                iod_nodes=4,
+                caching=False,
+                pagecache_blocks=0,
+                net_model="fluid",
+                disk_model=disk_model,
+            )
+            params = MicroBenchParams(
+                nodes=config.compute_node_names(),
+                request_size=d,
+                iterations=max(1, total_bytes // d),
+                mode="read",
+                locality=0.0,
+                partition_bytes=4 * 2**20,
+                seed=42,
+            )
+            run_instances(config, [params])
+        return time.perf_counter() - t0
+
+    return min(one_sweep() for _ in range(rounds))
+
+
 def test_engine_regression(monkeypatch):
     monkeypatch.setenv(WORKERS_ENV_VAR, "1")  # comparable across hosts
     monkeypatch.delenv(NET_MODEL_ENV_VAR, raising=False)
+    monkeypatch.delenv(DISK_MODEL_ENV_VAR, raising=False)
     wire_frames = _measure_fig4_wire_sweep_s("frames")
     wire_fluid = _measure_fig4_wire_sweep_s("fluid")
+    disk_mech = _measure_disk_replay_s("mech")
+    disk_queued = _measure_disk_replay_s("queued")
+    cold_mech = _measure_disk_cold_sweep_s("mech")
+    cold_queued = _measure_disk_cold_sweep_s("queued")
     fig4_frames = _measure_fig4_quick_sweep_s()
     monkeypatch.setenv(NET_MODEL_ENV_VAR, "fluid")
     fig4_fluid = _measure_fig4_quick_sweep_s()
@@ -153,6 +272,10 @@ def test_engine_regression(monkeypatch):
         "fig4_quick_sweep_fluid_s": round(fig4_fluid, 3),
         "fig4_wire_hub_frames_s": round(wire_frames, 4),
         "fig4_wire_hub_fluid_s": round(wire_fluid, 4),
+        "disk_replay_mech_s": round(disk_mech, 4),
+        "disk_replay_queued_s": round(disk_queued, 4),
+        "disk_cold_sweep_mech_s": round(cold_mech, 3),
+        "disk_cold_sweep_queued_s": round(cold_queued, 3),
     }
     # Host-independent gate: the fluid model's whole point is removing
     # per-frame events from the wire, so its replay must stay at least
@@ -161,6 +284,20 @@ def test_engine_regression(monkeypatch):
     assert speedup >= FLUID_SPEEDUP_FLOOR, (
         f"fluid wire replay only {speedup:.2f}x faster than frames "
         f"(floor {FLUID_SPEEDUP_FLOOR}x)"
+    )
+    # Same deal one layer down: the queued disk model replaces per-run
+    # process/Resource round-trips with computed batch service times.
+    disk_speedup = disk_mech / disk_queued
+    assert disk_speedup >= DISK_SPEEDUP_FLOOR, (
+        f"queued disk replay only {disk_speedup:.2f}x faster than mech "
+        f"(floor {DISK_SPEEDUP_FLOOR}x)"
+    )
+    # End to end, a disk-bound cold-cache sweep must come out ahead
+    # too (a much weaker bar than the replay floor: the PVFS and
+    # network layers dilute the disk's share of the event budget).
+    assert cold_queued < cold_mech, (
+        f"queued cold-cache sweep ({cold_queued:.3f}s) not faster than "
+        f"mech ({cold_mech:.3f}s)"
     )
     if os.environ.get(UPDATE_ENV_VAR) or not BASELINE_PATH.exists():
         payload = {

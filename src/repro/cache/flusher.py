@@ -198,7 +198,10 @@ class Flusher(Service):
         ranges keeps both the wire and the iods' writeback efficient).
         """
         fragments = sorted(fragments, key=lambda f: (f[0], f[1]))
-        merged: list[list] = []
+        # Payloads accumulate as chunk lists and are joined once per
+        # entry: concatenating bytes in place would recopy the merged
+        # prefix on every fragment (quadratic in run length).
+        merged: list[list] = []  # [file_id, off, n, list[bytes] | None]
         for file_id, off, n, data in fragments:
             if (
                 merged
@@ -208,12 +211,19 @@ class Flusher(Service):
             ):
                 merged[-1][2] += n
                 if data is not None:
-                    merged[-1][3] += data
+                    merged[-1][3].append(data)
             else:
-                merged.append([file_id, off, n, data])
+                merged.append(
+                    [file_id, off, n, None if data is None else [data]]
+                )
         return [
-            FlushEntry(file_id=f, offset=o, nbytes=n, data=d)
-            for f, o, n, d in merged
+            FlushEntry(
+                file_id=f,
+                offset=o,
+                nbytes=n,
+                data=None if parts is None else b"".join(parts),
+            )
+            for f, o, n, parts in merged
         ]
 
     def _drain(self) -> _t.Generator:

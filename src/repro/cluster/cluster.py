@@ -48,6 +48,9 @@ class Cluster:
         # ``net_model`` picks how contention on it is simulated
         # (frame-by-frame vs analytic fluid sharing, DESIGN.md §12).
         self.net_model = self.config.resolved_net_model
+        # Resolved once here (not per node) so a mid-run env-var change
+        # cannot split a cluster across disk models.
+        self.disk_model = self.config.resolved_disk_model
         if self.net_model == "fluid":
             fabric = FluidFabric(
                 self.env,

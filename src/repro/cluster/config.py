@@ -26,6 +26,18 @@ NET_MODEL_ENV_VAR = "REPRO_NET_MODEL"
 #: analytically and only generates events on flow churn.
 NET_MODELS = ("frames", "fluid")
 
+#: Environment variable selecting the default disk model for clusters
+#: whose config leaves ``disk_model`` unset (``mech`` or ``queued``).
+#: Like ``REPRO_NET_MODEL``, this is how ``--disk-model`` reaches
+#: clusters built inside parallel sweep workers.
+DISK_MODEL_ENV_VAR = "REPRO_DISK_MODEL"
+
+#: Recognised disk models: ``mech`` simulates each request against a
+#: capacity-1 spindle Resource (the validated default), ``queued``
+#: computes batch service times against an analytic FIFO queue
+#: (DESIGN.md §13).
+DISK_MODELS = ("mech", "queued")
+
 
 @dataclasses.dataclass
 class CostModel:
@@ -182,6 +194,11 @@ class ClusterConfig:
     #: that picks the topology (hub/switch), this picks how contention
     #: on it is simulated.
     net_model: str | None = None
+    #: Disk model: ``"mech"`` (per-request spindle simulation, the
+    #: validated default), ``"queued"`` (analytic FIFO batch service,
+    #: see DESIGN.md §13), or ``None`` to defer to
+    #: ``REPRO_DISK_MODEL`` falling back to mech.
+    disk_model: str | None = None
     cache: CacheConfig = dataclasses.field(default_factory=CacheConfig)
     costs: CostModel = dataclasses.field(default_factory=CostModel)
 
@@ -191,6 +208,10 @@ class ClusterConfig:
         if self.net_model is not None and self.net_model not in NET_MODELS:
             raise ValueError(
                 f"unknown net_model {self.net_model!r}; have {NET_MODELS}"
+            )
+        if self.disk_model is not None and self.disk_model not in DISK_MODELS:
+            raise ValueError(
+                f"unknown disk_model {self.disk_model!r}; have {DISK_MODELS}"
             )
         if self.stripe_size <= 0:
             raise ValueError("stripe size must be positive")
@@ -211,6 +232,21 @@ class ClusterConfig:
         if model not in NET_MODELS:
             raise ValueError(
                 f"{NET_MODEL_ENV_VAR}={model!r} is not one of {NET_MODELS}"
+            )
+        return model
+
+    @property
+    def resolved_disk_model(self) -> str:
+        """The effective disk model for this cluster.
+
+        An explicit ``disk_model`` wins; otherwise ``REPRO_DISK_MODEL``
+        chooses, and with neither set the validated mechanical model
+        runs.
+        """
+        model = self.disk_model or os.environ.get(DISK_MODEL_ENV_VAR) or "mech"
+        if model not in DISK_MODELS:
+            raise ValueError(
+                f"{DISK_MODEL_ENV_VAR}={model!r} is not one of {DISK_MODELS}"
             )
         return model
 

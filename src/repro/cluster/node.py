@@ -5,7 +5,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.cluster.config import ClusterConfig, CostModel
-from repro.disk import DiskModel, LocalFileStore, PageCache
+from repro.disk import DiskModel, LocalFileStore, PageCache, QueuedDiskModel
 from repro.disk.writeback import WritebackDaemon
 from repro.net import Network, SocketAPI
 from repro.sim import Environment, Resource
@@ -54,7 +54,9 @@ class Node:
         cfg = self.config
         block_size = cfg.cache.block_size if cfg else 4096
         pagecache_blocks = cfg.pagecache_blocks if cfg else 16384
-        self.disk = DiskModel(
+        disk_model = cfg.resolved_disk_model if cfg else "mech"
+        disk_cls = QueuedDiskModel if disk_model == "queued" else DiskModel
+        self.disk = disk_cls(
             self.env,
             avg_seek_s=self.costs.avg_seek_s,
             half_rotation_s=self.costs.half_rotation_s,

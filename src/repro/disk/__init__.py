@@ -8,6 +8,9 @@ that stack:
 * :class:`~repro.disk.model.DiskModel` — mechanical timing: seek +
   rotational latency for non-sequential accesses, media transfer rate,
   FIFO queueing of concurrent requests.
+* :class:`~repro.disk.queued.QueuedDiskModel` — the analytic
+  alternative: the spindle as a computed FIFO queue, O(batches) events
+  instead of O(requests); selected via ``ClusterConfig.disk_model``.
 * :class:`~repro.disk.filesystem.LocalFileStore` — the data authority:
   an in-memory block store holding the actual bytes, so end-to-end
   read-your-writes correctness is testable through every cache path.
@@ -20,5 +23,6 @@ that stack:
 from repro.disk.filesystem import LocalFileStore
 from repro.disk.model import DiskModel
 from repro.disk.pagecache import PageCache
+from repro.disk.queued import QueuedDiskModel
 
-__all__ = ["DiskModel", "LocalFileStore", "PageCache"]
+__all__ = ["DiskModel", "LocalFileStore", "PageCache", "QueuedDiskModel"]

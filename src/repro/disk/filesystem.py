@@ -21,7 +21,10 @@ class LocalFileStore:
         if block_size <= 0:
             raise ValueError(f"block size must be positive, got {block_size}")
         self.block_size = block_size
-        self._blocks: dict[tuple[int, int], bytes] = {}
+        # Full-block payloads stay immutable ``bytes``; a block that
+        # has seen a partial patch is promoted to a ``bytearray`` once
+        # and patched in place from then on (the zero-copy write path).
+        self._blocks: dict[tuple[int, int], bytes | bytearray] = {}
 
     def __contains__(self, key: tuple[int, int]) -> bool:
         return key in self._blocks
@@ -51,9 +54,80 @@ class LocalFileStore:
     def read_block(self, file_id: int, block_no: int) -> bytes:
         """Fetch one block; unwritten blocks read as zeros."""
         data = self._blocks.get((file_id, block_no))
-        if data is None or data == b"":
+        if not data:
             return b"\x00" * self.block_size
-        return data
+        # Never hand out the internal mutable buffer.
+        return bytes(data) if isinstance(data, bytearray) else data
+
+    def read_range(self, file_id: int, offset: int, nbytes: int) -> bytes:
+        """Assemble ``[offset, offset+nbytes)`` into one buffer.
+
+        The zero-copy read path: one output ``bytearray`` is allocated
+        and block payloads land in it through ``memoryview`` slice
+        assignment — no per-block ``bytes`` temporaries, no final
+        ``join``.  Unwritten and size-only blocks read as zeros (the
+        buffer starts zeroed, so they cost nothing at all).
+        """
+        if nbytes == 0:
+            return b""
+        block_size = self.block_size
+        out = bytearray(nbytes)
+        view = memoryview(out)
+        blocks = self._blocks
+        for block in blocks_spanned(offset, nbytes, block_size):
+            data = blocks.get((file_id, block))
+            if not data:
+                continue
+            start, length = slice_for_block(offset, nbytes, block, block_size)
+            pos = block * block_size + start - offset
+            view[pos : pos + length] = memoryview(data)[start : start + length]
+        view.release()
+        return bytes(out)
+
+    def write_range(
+        self, file_id: int, offset: int, nbytes: int, data: bytes | None
+    ) -> None:
+        """Patch ``[offset, offset+nbytes)`` with ``data`` in one pass.
+
+        ``data=None`` is the size-only write: missing blocks are
+        allocated, existing payloads are left untouched.  With a
+        payload, full blocks are replaced outright and partial blocks
+        are patched in place on a ``bytearray`` — no
+        ``old[:start] + piece + old[start+length:]`` triple copy.
+        """
+        if nbytes == 0:
+            return
+        block_size = self.block_size
+        blocks = self._blocks
+        if data is None:
+            for block in blocks_spanned(offset, nbytes, block_size):
+                key = (file_id, block)
+                if key not in blocks:
+                    blocks[key] = b""
+            return
+        if len(data) < nbytes:
+            # Short payloads (never produced by the protocol layer, but
+            # tolerated like the block-at-a-time path did) zero-fill.
+            data = bytes(data) + b"\x00" * (nbytes - len(data))
+        src = memoryview(data)
+        for block in blocks_spanned(offset, nbytes, block_size):
+            start, length = slice_for_block(offset, nbytes, block, block_size)
+            pos = block * block_size + start - offset
+            piece = src[pos : pos + length]
+            key = (file_id, block)
+            if length == block_size:
+                blocks[key] = bytes(piece)
+                continue
+            old = blocks.get(key)
+            if isinstance(old, bytearray):
+                buf = old  # already mutable: patch in place, zero copies
+            elif old:
+                buf = bytearray(old)
+            else:
+                buf = bytearray(block_size)
+            buf[start : start + length] = piece
+            blocks[key] = buf
+        src.release()
 
     def has_block(self, file_id: int, block_no: int) -> bool:
         """True if the block was ever written."""

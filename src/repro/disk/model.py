@@ -17,6 +17,11 @@ class DiskModel:
     5400 RPM IDE disk (Maxtor, as in the paper's testbed).
     """
 
+    #: Whether :meth:`io_batch` services a run list as one analytic
+    #: queue entry (:class:`~repro.disk.queued.QueuedDiskModel`) or
+    #: replays the validated per-request schedule (this class).
+    batched: _t.ClassVar[bool] = False
+
     def __init__(
         self,
         env: Environment,
@@ -31,10 +36,13 @@ class DiskModel:
         self.half_rotation_s = float(half_rotation_s)
         self.transfer_bytes_per_s = float(transfer_bytes_per_s)
         self._spindle = Resource(env, capacity=1)
-        #: (file_id -> end offset of the last access) for sequential
-        #: run detection.
-        self._head_pos: dict[int, int] = {}
+        # Sequential-run detection only ever consults the *last*
+        # access (a new file in between moves the head away), so the
+        # head state is two scalars — not the per-file dict it once
+        # was, which grew one entry per file touched and was never
+        # pruned (a leak on long multi-file sweeps).
         self._last_file: int | None = None
+        self._last_end: int = 0
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
@@ -43,10 +51,7 @@ class DiskModel:
 
     def is_sequential(self, file_id: int, offset: int) -> bool:
         """Would an access at ``offset`` continue the previous one?"""
-        return (
-            self._last_file == file_id
-            and self._head_pos.get(file_id) == offset
-        )
+        return self._last_file == file_id and self._last_end == offset
 
     def access_time(self, nbytes: int, sequential: bool) -> float:
         """Service time for one request, excluding queueing."""
@@ -67,14 +72,42 @@ class DiskModel:
             if not sequential:
                 self.seeks += 1
             yield self.env.timeout(self.access_time(nbytes, sequential))
-            self._head_pos[file_id] = offset + nbytes
             self._last_file = file_id
+            self._last_end = offset + nbytes
         if write:
             self.writes += 1
             self.bytes_written += nbytes
         else:
             self.reads += 1
             self.bytes_read += nbytes
+
+    def io_batch(
+        self,
+        file_id: int,
+        runs: _t.Sequence[tuple[int, int]],
+        write: bool = False,
+        on_run_complete: _t.Callable[[int], None] | None = None,
+    ) -> _t.Generator:
+        """Process body: service a coalesced run list
+        ``[(offset, nbytes), ...]`` against one file.
+
+        This is the model seam the iod's miss path drives
+        (:meth:`repro.pvfs.iod.Iod._ensure_resident`):
+        ``on_run_complete(i)`` is invoked as run ``i``'s data lands,
+        which is where the caller populates its page cache.
+
+        The mechanical model deliberately replays the *request-level*
+        schedule it always had — one spindle acquisition per run, so
+        concurrent requests (e.g. the writeback daemon) interleave
+        between runs exactly as before and same-seed trace hashes stay
+        bit-identical to the pre-batch code.  Analytic subclasses
+        (``batched = True``) instead service the whole list as a single
+        queue entry with one computed service time.
+        """
+        for index, (offset, nbytes) in enumerate(runs):
+            yield self.env.process(self.io(file_id, offset, nbytes, write))
+            if on_run_complete is not None:
+                on_run_complete(index)
 
     @property
     def queue_length(self) -> int:

@@ -11,6 +11,7 @@ themselves live in :class:`~repro.disk.filesystem.LocalFileStore`.
 
 from __future__ import annotations
 
+import typing as _t
 from collections import OrderedDict
 
 
@@ -38,6 +39,46 @@ class PageCache:
         self.misses += 1
         return False
 
+    def lookup_many(
+        self, file_id: int, block_nos: _t.Iterable[int]
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """Probe a whole request's blocks in one pass.
+
+        Returns ``(hits, missing_runs)`` where ``missing_runs``
+        coalesces consecutive missing block numbers into
+        ``(first_block, n_blocks)`` disk-run candidates.  Exactly like
+        per-block :meth:`lookup` calls followed by the caller
+        coalescing: recency and the hit/miss counters update per
+        block, and a non-consecutive (or repeated) missing block
+        closes the current run.
+        """
+        lru = self._lru
+        move = lru.move_to_end
+        hits = 0
+        misses = 0
+        runs: list[tuple[int, int]] = []
+        run_start: int | None = None
+        prev = 0
+        for block in block_nos:
+            key = (file_id, block)
+            if key in lru:
+                move(key)
+                hits += 1
+                continue
+            misses += 1
+            if run_start is None:
+                run_start = prev = block
+            elif block == prev + 1:
+                prev = block
+            else:
+                runs.append((run_start, prev - run_start + 1))
+                run_start = prev = block
+        if run_start is not None:
+            runs.append((run_start, prev - run_start + 1))
+        self.hits += hits
+        self.misses += misses
+        return hits, runs
+
     def insert(self, file_id: int, block_no: int) -> None:
         """Make a block resident, evicting the LRU block if full."""
         if self.capacity_blocks == 0:
@@ -49,6 +90,30 @@ class PageCache:
         while len(self._lru) >= self.capacity_blocks:
             self._lru.popitem(last=False)
         self._lru[key] = None
+
+    def insert_many(
+        self, file_id: int, first_block: int, n_blocks: int
+    ) -> None:
+        """Make a run of ``n_blocks`` consecutive blocks resident.
+
+        Bulk :meth:`insert`: existing blocks refresh recency, new ones
+        evict from the LRU end while the cache is full, and a
+        zero-capacity cache retains nothing (runs larger than the
+        capacity leave only the run's tail resident, matching the
+        per-block insertion order).
+        """
+        if self.capacity_blocks == 0 or n_blocks <= 0:
+            return
+        lru = self._lru
+        capacity = self.capacity_blocks
+        for block in range(first_block, first_block + n_blocks):
+            key = (file_id, block)
+            if key in lru:
+                lru.move_to_end(key)
+                continue
+            while len(lru) >= capacity:
+                lru.popitem(last=False)
+            lru[key] = None
 
     def contains(self, file_id: int, block_no: int) -> bool:
         """Residency probe without recency update or counters."""

@@ -13,7 +13,12 @@ import sys
 import time
 import typing as _t
 
-from repro.cluster.config import NET_MODEL_ENV_VAR, NET_MODELS
+from repro.cluster.config import (
+    DISK_MODEL_ENV_VAR,
+    DISK_MODELS,
+    NET_MODEL_ENV_VAR,
+    NET_MODELS,
+)
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
@@ -181,11 +186,23 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             "'fluid' (analytic bandwidth sharing, much faster sweeps)"
         ),
     )
+    parser.add_argument(
+        "--disk-model",
+        choices=DISK_MODELS,
+        default=None,
+        help=(
+            "disk service model: 'mech' (per-request spindle "
+            "simulation, validated default) or 'queued' (analytic FIFO "
+            "batch service, much faster disk-bound sweeps)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.net_model:
         # Via the environment so parallel sweep workers inherit it —
         # every ClusterConfig built anywhere in this run resolves it.
         os.environ[NET_MODEL_ENV_VAR] = args.net_model
+    if args.disk_model:
+        os.environ[DISK_MODEL_ENV_VAR] = args.disk_model
     if args.daemons:
         daemon_summary()
         return 0

@@ -13,7 +13,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.cluster.node import Node
-from repro.disk.filesystem import blocks_spanned, slice_for_block
+from repro.disk.filesystem import blocks_spanned
 from repro.disk.writeback import WritebackItem
 from repro.metrics import Metrics
 from repro.net import Message
@@ -139,52 +139,49 @@ class Iod(Service):
         self, file_id: int, ranges: _t.Sequence[protocol.Range]
     ) -> _t.Generator:
         """Bring every block covering ``ranges`` into the page cache,
-        reading coalesced runs of missing blocks from disk."""
+        reading coalesced runs of missing blocks from disk.
+
+        One :meth:`PageCache.lookup_many` pass probes the whole
+        request and hands back coalesced missing-block runs; one
+        :meth:`DiskModel.io_batch` call services them.  Runs become
+        resident as they land (``on_run_complete``), so concurrent
+        requests observe the same residency evolution as the old
+        per-run loop did.
+        """
         pagecache = self.node.pagecache
-        assert pagecache is not None and self.node.disk is not None
-        missing: list[int] = []
-        for off, n in ranges:
-            for block in blocks_spanned(off, n, self.block_size):
-                if pagecache.lookup(file_id, block):
-                    self.metrics.inc("iod.pagecache_hits")
-                else:
-                    self.metrics.inc("iod.pagecache_misses")
-                    missing.append(block)
-        # Coalesce consecutive missing blocks into single disk requests.
-        run_start: int | None = None
-        prev = None
-        runs: list[tuple[int, int]] = []  # (first_block, n_blocks)
-        for block in missing:
-            if run_start is None:
-                run_start, prev = block, block
-            elif block == prev + 1:
-                prev = block
-            else:
-                runs.append((run_start, prev - run_start + 1))
-                run_start, prev = block, block
-        if run_start is not None:
-            runs.append((run_start, prev - run_start + 1))
-        for first, count in runs:
-            yield self.env.process(
-                self.node.disk.io(
-                    file_id,
-                    self.local_offset(first * self.block_size),
-                    count * self.block_size,
-                    write=False,
-                )
-            )
-            for block in range(first, first + count):
-                pagecache.insert(file_id, block)
+        disk = self.node.disk
+        assert pagecache is not None and disk is not None
+        block_size = self.block_size
+        blocks = [
+            block
+            for off, n in ranges
+            for block in blocks_spanned(off, n, block_size)
+        ]
+        hits, runs = pagecache.lookup_many(file_id, blocks)
+        misses = len(blocks) - hits
+        if hits:
+            self.metrics.inc("iod.pagecache_hits", hits)
+        if misses:
+            self.metrics.inc("iod.pagecache_misses", misses)
+        if not runs:
+            return
+        yield from disk.io_batch(
+            file_id,
+            [
+                (self.local_offset(first * block_size), count * block_size)
+                for first, count in runs
+            ],
+            write=False,
+            on_run_complete=lambda i: pagecache.insert_many(
+                file_id, runs[i][0], runs[i][1]
+            ),
+        )
 
     def _read_range(self, file_id: int, offset: int, nbytes: int) -> bytes:
         """Assemble real bytes for one logical range from the store."""
         store = self.node.filestore
         assert store is not None
-        parts: list[bytes] = []
-        for block in blocks_spanned(offset, nbytes, self.block_size):
-            start, length = slice_for_block(offset, nbytes, block, self.block_size)
-            parts.append(store.read_block(file_id, block)[start : start + length])
-        return b"".join(parts)
+        return store.read_range(file_id, offset, nbytes)
 
     def _write_ranges(
         self,
@@ -206,25 +203,9 @@ class Iod(Service):
         for (offset, nbytes), data in zip(ranges, chunks):
             if nbytes == 0:
                 continue
-            for block in blocks_spanned(offset, nbytes, self.block_size):
-                start, length = slice_for_block(
-                    offset, nbytes, block, self.block_size
-                )
-                if data is None:
-                    if not store.has_block(file_id, block):
-                        store.write_block(file_id, block, None)
-                else:
-                    chunk_pos = block * self.block_size + start - offset
-                    piece = data[chunk_pos : chunk_pos + length]
-                    if length == self.block_size:
-                        store.write_block(file_id, block, piece)
-                    else:
-                        old = store.read_block(file_id, block)
-                        patched = (
-                            old[:start] + piece + old[start + length :]
-                        )
-                        store.write_block(file_id, block, patched)
-                pagecache.insert(file_id, block)
+            store.write_range(file_id, offset, nbytes, data)
+            spanned = blocks_spanned(offset, nbytes, self.block_size)
+            pagecache.insert_many(file_id, spanned.start, len(spanned))
             assert self.node.writeback is not None
             yield from self.node.writeback.submit(
                 WritebackItem(

@@ -89,6 +89,87 @@ def test_writeback_fifo_order():
     assert wb.items_written == 2
 
 
+# -- WritebackDaemon drain/stop semantics --------------------------------------
+
+
+def _loaded_daemon(n_items=3, nbytes=60_000):
+    """A daemon with ``n_items`` submitted against a slow disk."""
+    env = Environment()
+    disk = DiskModel(env, transfer_bytes_per_s=1e6)
+    wb = WritebackDaemon(env, disk)
+    wb.start()
+
+    def submit(env):
+        for i in range(n_items):
+            yield from wb.submit(WritebackItem(1, i * nbytes, nbytes))
+
+    env.process(submit(env))
+    return env, disk, wb
+
+
+def test_writeback_backlog_accounting():
+    env, _disk, wb = _loaded_daemon(n_items=3, nbytes=60_000)
+    assert wb.idle()  # nothing submitted yet at t=0
+    env.run(until=0.001)
+    # One item is in service (pulled off the mailbox), two queued; all
+    # three are still counted dirty until their writes land.
+    assert wb.backlog == 2
+    assert wb.dirty_bytes == 180_000
+    assert not wb.idle()
+    env.run()
+    assert wb.backlog == 0 and wb.dirty_bytes == 0
+    assert wb.idle()
+    assert wb.items_written == 3 and wb.bytes_written == 180_000
+
+
+def test_writeback_stop_reports_dropped_backlog():
+    env, disk, wb = _loaded_daemon(n_items=3, nbytes=60_000)
+    env.run(until=0.001)  # first write still in flight
+    report = wb.stop()
+    assert report.dropped == {"queued_items": 2, "dirty_bytes": 180_000}
+    assert report.total_dropped == 2 + 180_000
+    assert wb.svc_stats.dropped == report.dropped
+    # The killed pump never finished even the in-flight write.
+    assert wb.items_written == 0
+    assert disk.writes == 0
+
+
+def test_writeback_stop_after_drain_drops_nothing():
+    env, disk, wb = _loaded_daemon(n_items=3, nbytes=60_000)
+    drained = env.process(wb.drain())
+    env.run(until=drained)
+    assert wb.idle()
+    assert wb.items_written == 3 and disk.writes == 3
+    report = wb.stop()
+    assert report.dropped == {}
+    assert report.total_dropped == 0
+
+
+def test_writeback_drain_blocks_until_queue_and_dirty_empty():
+    env, _disk, wb = _loaded_daemon(n_items=2, nbytes=60_000)
+    seen = {}
+
+    def drainer(env):
+        yield from wb._drain()
+        seen["t"] = env.now
+        seen["idle"] = wb.idle()
+
+    env.process(drainer(env))
+    env.run()
+    # Two 60 KB writes at 1 MB/s dominate: drain cannot return before
+    # the second write lands (~0.12 s of media time plus a seek).
+    assert seen["idle"] is True
+    assert seen["t"] >= 0.12
+
+
+def test_writeback_stop_is_idempotent_after_stop():
+    env, _disk, wb = _loaded_daemon(n_items=1, nbytes=60_000)
+    env.run()
+    first = wb.stop()
+    second = wb.stop()
+    assert first.dropped == {} and second.dropped == {}
+
+
 # -- RpcChannel ---------------------------------------------------------------
 
 
