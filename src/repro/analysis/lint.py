@@ -25,6 +25,12 @@ This lint walks the source tree and flags exactly those hazards:
     Bare ``except:`` anywhere; or ``except BaseException`` /
     ``except GeneratorExit`` inside a generator function without a
     re-raise — swallowing ``GeneratorExit`` breaks ``Process.kill``.
+``RPL006``
+    Direct ``heapq`` import outside ``repro.sim``: the event queue is
+    a seam (timer wheel + far heap, DESIGN.md §14), and code that
+    heap-manages simulation timestamps itself bypasses the engine's
+    ordering, stats, and compaction.  Schedule through
+    ``Environment``/``Timer`` instead.
 
 Yielding helpers are resolved in three tiers: module-local generator
 functions (including names imported from scanned modules),
@@ -426,6 +432,26 @@ class _ModuleLinter(ast.NodeVisitor):
                 names.add(item.attr)
         return names
 
+    # -- RPL006 ----------------------------------------------------------
+    def check_heapq_imports(self) -> None:
+        """Flag ``heapq`` imports outside the ``repro.sim`` package."""
+        posix_path = str(self.info.path).replace("\\", "/")
+        if "repro/sim/" in posix_path:
+            return
+        for node in ast.walk(self.info.tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == "heapq" for alias in node.names):
+                    self._emit(node, "RPL006", self._HEAPQ_MSG)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "heapq":
+                    self._emit(node, "RPL006", self._HEAPQ_MSG)
+
+    _HEAPQ_MSG = (
+        "direct heapq use outside repro.sim bypasses the engine's "
+        "event-queue seam (ordering, stats, timer compaction); "
+        "schedule via Environment/Timer instead"
+    )
+
     # -- RPL004 ----------------------------------------------------------
     def check_module_state(self) -> None:
         registered = _registered_reset_names(self.info.tree)
@@ -494,6 +520,7 @@ def lint_paths(paths: _t.Sequence[Path]) -> list[Finding]:
         linter = _ModuleLinter(index, info)
         linter.visit(info.tree)
         linter.check_module_state()
+        linter.check_heapq_imports()
         findings.extend(
             f
             for f in linter.findings

@@ -114,6 +114,9 @@ class Cluster:
             self.iods.append(iod)
 
         self.cache_modules: dict[str, CacheModule] = {}
+        # Resolved once, like the net/disk models: the macro-event fast
+        # path is a per-cluster decision (DESIGN.md §14).
+        self.engine_macro = self.config.resolved_engine_macro
         if self.config.caching:
             gcache_directory = None
             if self.config.cache.global_cache:
@@ -130,6 +133,7 @@ class Cluster:
                     iod_port=self.config.IOD_PORT,
                     flush_port=self.config.FLUSH_PORT,
                     invalidate_port=self.INVALIDATE_PORT,
+                    engine_macro=self.engine_macro,
                 )
                 if gcache_directory is not None:
                     from repro.cache.global_cache import GlobalCacheClient
@@ -199,6 +203,21 @@ class Cluster:
                 self.metrics.inc(f"net.{key}", value)
             else:
                 self.metrics.record(f"net.{key}", value)
+        return snap
+
+    def record_scheduler_metrics(self) -> dict[str, _t.Any]:
+        """Fold the engine's scheduler counters into :class:`Metrics`.
+
+        Mirrors :meth:`record_network_metrics`: every counter from
+        ``Environment.sched_stats`` lands as a ``sim.*`` metric so
+        experiment harnesses can report event-loop behaviour (events
+        processed, timer garbage collected, bursts coalesced, queue
+        depth high-water) next to cache statistics.  Returns the raw
+        snapshot.
+        """
+        snap = self.env.sched_stats()
+        for key, value in snap.items():
+            self.metrics.inc(f"sim.{key}", value)
         return snap
 
     def drain_caches(self) -> _t.Generator:

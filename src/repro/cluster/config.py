@@ -38,6 +38,15 @@ DISK_MODEL_ENV_VAR = "REPRO_DISK_MODEL"
 #: (DESIGN.md §13).
 DISK_MODELS = ("mech", "queued")
 
+#: Environment variable enabling the cache module's macro-event fast
+#: path for clusters whose config leaves ``engine_macro`` unset
+#: (DESIGN.md §14): fully-resident read bursts are serviced under one
+#: scheduled event instead of one generator round-trip per block.
+#: Any value other than ``""``/``"0"`` enables it; like
+#: ``REPRO_NET_MODEL`` this is how ``--engine-macro`` reaches clusters
+#: built inside parallel sweep workers.
+ENGINE_MACRO_ENV_VAR = "REPRO_ENGINE_MACRO"
+
 
 @dataclasses.dataclass
 class CostModel:
@@ -199,6 +208,12 @@ class ClusterConfig:
     #: see DESIGN.md §13), or ``None`` to defer to
     #: ``REPRO_DISK_MODEL`` falling back to mech.
     disk_model: str | None = None
+    #: Macro-event fast path (DESIGN.md §14): ``True``/``False`` to
+    #: force, or ``None`` to defer to ``REPRO_ENGINE_MACRO`` falling
+    #: back to off.  Off is bit-identical to the validated event-level
+    #: schedule; on trades exact event interleaving inside fully-hit
+    #: read bursts for speed.
+    engine_macro: bool | None = None
     cache: CacheConfig = dataclasses.field(default_factory=CacheConfig)
     costs: CostModel = dataclasses.field(default_factory=CostModel)
 
@@ -249,6 +264,18 @@ class ClusterConfig:
                 f"{DISK_MODEL_ENV_VAR}={model!r} is not one of {DISK_MODELS}"
             )
         return model
+
+    @property
+    def resolved_engine_macro(self) -> bool:
+        """Whether the macro-event fast path is on for this cluster.
+
+        An explicit ``engine_macro`` wins; otherwise a non-empty,
+        non-``"0"`` ``REPRO_ENGINE_MACRO`` enables it, and with
+        neither set the validated event-level path runs.
+        """
+        if self.engine_macro is not None:
+            return self.engine_macro
+        return os.environ.get(ENGINE_MACRO_ENV_VAR, "") not in ("", "0")
 
     def compute_node_names(self) -> list[str]:
         """Names of the compute nodes."""

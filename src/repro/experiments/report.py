@@ -16,6 +16,7 @@ import typing as _t
 from repro.cluster.config import (
     DISK_MODEL_ENV_VAR,
     DISK_MODELS,
+    ENGINE_MACRO_ENV_VAR,
     NET_MODEL_ENV_VAR,
     NET_MODELS,
 )
@@ -109,6 +110,7 @@ def daemon_summary(stream: _t.TextIO = sys.stdout) -> str:
         if kind == "dispatch"
     )
     net = cluster.record_network_metrics()
+    sched = cluster.record_scheduler_metrics()
     print(table, file=stream)
     print(f"\n[{dispatches} dispatches observed on the bus]", file=stream)
     print(
@@ -116,6 +118,13 @@ def daemon_summary(stream: _t.TextIO = sys.stdout) -> str:
         "{bytes_transferred} bytes, wire busy {wire_busy_s:.4f}s]".format(
             **net
         ),
+        file=stream,
+    )
+    print(
+        "[scheduler: {events_processed} events, depth hw "
+        "{queue_depth_hw}, {timers_cancelled} timers cancelled, "
+        "{timer_entries_purged} entries purged, {bursts_coalesced} "
+        "bursts coalesced]".format(**sched),
         file=stream,
     )
     monitor.close()
@@ -196,6 +205,27 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             "batch service, much faster disk-bound sweeps)"
         ),
     )
+    parser.add_argument(
+        "--engine-macro",
+        action="store_true",
+        help=(
+            "coalesce fully-resident cache-hit read bursts into one "
+            "scheduled event each (DESIGN.md §14); off preserves the "
+            "validated event-level schedule bit-for-bit"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=25,
+        default=None,
+        metavar="N",
+        help=(
+            "run under cProfile and print the top N functions by "
+            "cumulative time (default 25)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.net_model:
         # Via the environment so parallel sweep workers inherit it —
@@ -203,6 +233,27 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         os.environ[NET_MODEL_ENV_VAR] = args.net_model
     if args.disk_model:
         os.environ[DISK_MODEL_ENV_VAR] = args.disk_model
+    if args.engine_macro:
+        os.environ[ENGINE_MACRO_ENV_VAR] = "1"
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            if args.daemons:
+                daemon_summary()
+            else:
+                only = args.only.split(",") if args.only else None
+                run_all(quick=args.quick, only=only, charts=args.charts)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.strip_dirs().sort_stats("cumulative")
+            print(f"\n=== cProfile: top {args.profile} by cumulative time ===")
+            stats.print_stats(args.profile)
+        return 0
     if args.daemons:
         daemon_summary()
         return 0

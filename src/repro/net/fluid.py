@@ -239,6 +239,13 @@ class FluidFabric(Fabric):
             for flow in flows.values():
                 flow.rate = share
             return
+        if len(flows) == 1:
+            # A lone flow saturates its own ports: progressive filling
+            # trivially yields full capacity.  Skipping the link-dict
+            # construction matters because single-flow intervals
+            # dominate low-contention sweeps.
+            next(iter(flows.values())).rate = self._cap_Bps
+            return
         # Progressive filling over the per-port links.  Typically a
         # handful of flows and twice as many links, so the quadratic
         # worst case is irrelevant.

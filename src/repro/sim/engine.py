@@ -1,11 +1,32 @@
-"""The simulation environment: clock, event heap, and run loop."""
+"""The simulation environment: clock, event queue, and run loop.
+
+The pending-event queue is split by *where in time* an entry lands
+(DESIGN.md §14).  Zero-delay pushes — event ``succeed``/``fail``,
+resource grants, process starts — are by far the most common scheduling
+operation and always carry the current timestamp, so they go to plain
+FIFO deques (one per priority) that stay sorted for free: timestamps
+are non-decreasing push to push and the sequence counter is monotone.
+Future entries (timeouts, timer re-arms) go to a 256-bucket calendar
+wheel of ~244 µs buckets covering a 62.5 ms horizon — wide enough for
+every latency constant in :class:`~repro.cluster.config.CostModel`,
+from the 5 µs block lookup to the 30 ms flush period — with a binary
+heap fallback for entries beyond the horizon.  A one-entry buffer
+always holds the earliest future entry, so the hot pop only compares
+three component heads.
+
+Every entry is ``(time, priority, seq, event)`` and pops follow that
+exact tuple order, which keeps the BLAKE2b schedule trace hash
+bit-identical to the single-heap implementation this replaced.
+"""
 
 from __future__ import annotations
 
 import hashlib
-import heapq
 import os
 import typing as _t
+from bisect import insort
+from collections import deque
+from heapq import heappop, heappush
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout, Timer
 from repro.sim.process import Process
@@ -14,13 +35,28 @@ from repro.sim.process import Process
 #: starts with trace hashing enabled (see :meth:`Environment.enable_trace_hash`).
 TRACE_HASH_ENV_VAR = "REPRO_TRACE_HASH"
 
+#: Calendar wheel geometry.  4096 buckets per second (2**12, so the
+#: time-to-bucket mapping is an exact binary scaling) and 256 slots
+#: give ~244 µs buckets over a 62.5 ms horizon.
+_BUCKETS_PER_S = 4096.0
+_WHEEL_SLOTS = 256
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+
+#: Compaction trigger: at least this many suspected-stale timer
+#: entries, and stale entries at least half of all queued future
+#: entries (mirrors the dynamic-array doubling argument: compaction
+#: work is amortised O(1) per cancellation).
+_COMPACT_MIN_STALE = 64
+
+_QueueEntry = _t.Tuple[float, int, int, Event]
+
 
 class EmptySchedule(Exception):
     """Raised by :meth:`Environment.step` when no events remain."""
 
 
 class Environment:
-    """Owner of simulated time and the pending-event heap.
+    """Owner of simulated time and the pending-event queue.
 
     Typical use::
 
@@ -28,7 +64,7 @@ class Environment:
         env.process(some_generator_function(env))
         env.run(until=10.0)
 
-    Heap entries are ``(time, priority, seq, event)``; ``seq`` is a
+    Queue entries are ``(time, priority, seq, event)``; ``seq`` is a
     monotone tiebreaker so same-time events process in schedule order,
     which keeps runs deterministic.
     """
@@ -40,12 +76,31 @@ class Environment:
 
     __slots__ = (
         "_now",
-        "_heap",
         "_seq",
         "_active_process",
         "_step_hooks",
         "_trace",
         "svc_bus",
+        # -- queue components ---------------------------------------
+        "_due",
+        "_due_urgent",
+        "_nf",
+        "_cur",
+        "_cur_pos",
+        "_ring",
+        "_ring_count",
+        "_cursor_abs",
+        "_far",
+        # -- scheduler statistics (see sched_stats) -----------------
+        "_depth",
+        "_depth_hw",
+        "_events_processed",
+        "_timers_cancelled",
+        "_stale_timers",
+        "_timer_entries_purged",
+        "_timer_compactions",
+        "_bursts_coalesced",
+        "_burst_events_saved",
     )
 
     def __init__(self, initial_time: float = 0.0) -> None:
@@ -55,11 +110,46 @@ class Environment:
         #: Lives on the environment so every service sharing a clock
         #: also shares one bus, without global registries.
         self.svc_bus: _t.Any = None
-        self._heap: list[tuple[float, int, int, Event]] = []
         #: Monotone tiebreaker, bumped inline on every push (an int
         #: increment is measurably cheaper than itertools.count on the
         #: hot scheduling path).
         self._seq = 0
+        # Ready entries: pushed with the *current* timestamp, so each
+        # deque is sorted by construction (non-decreasing clock,
+        # monotone seq).  Urgent (priority 0) entries sort before
+        # normal ones at the same instant.
+        self._due: deque[_QueueEntry] = deque()
+        self._due_urgent: deque[_QueueEntry] = deque()
+        #: The earliest future entry, buffered out of the wheel/heap so
+        #: the pop path compares at most three heads.  ``None`` when no
+        #: future entries exist.
+        self._nf: _QueueEntry | None = None
+        #: Sorted entries of the wheel bucket the cursor last drained,
+        #: consumed from ``_cur_pos`` (same bounded-garbage index
+        #: pattern as the queued disk model's FIFO).
+        self._cur: list[_QueueEntry] = []
+        self._cur_pos = 0
+        self._ring: list[list[_QueueEntry]] = [
+            [] for _ in range(_WHEEL_SLOTS)
+        ]
+        self._ring_count = 0
+        #: Absolute bucket number (time * 4096) of the cursor; buckets
+        #: at or before it have been drained into ``_cur``.
+        self._cursor_abs = int(self._now * _BUCKETS_PER_S)
+        #: Entries beyond the wheel horizon, plus conservative
+        #: spill-over (a lagging cursor or a bucket collision may park
+        #: a near entry here; ordering never depends on which
+        #: component holds an entry).
+        self._far: list[_QueueEntry] = []
+        self._depth = 0
+        self._depth_hw = 0
+        self._events_processed = 0
+        self._timers_cancelled = 0
+        self._stale_timers = 0
+        self._timer_entries_purged = 0
+        self._timer_compactions = 0
+        self._bursts_coalesced = 0
+        self._burst_events_saved = 0
         self._active_process: Process | None = None
         #: Callables invoked (with this env) after every processed
         #: event.  Empty in normal runs; the run loop only takes the
@@ -122,9 +212,253 @@ class Environment:
     ) -> None:
         """Queue ``event`` to be processed ``delay`` from now."""
         self._seq += 1
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, self._seq, event)
+        entry = (self._now + delay, priority, self._seq, event)
+        if delay == 0.0:
+            if priority == 1:
+                self._due.append(entry)
+            elif priority == 0:
+                self._due_urgent.append(entry)
+            else:
+                # Nonstandard priority: the deques' sortedness only
+                # holds for the two canonical levels.
+                self._push_future(entry)
+        else:
+            self._push_future(entry)
+        d = self._depth + 1
+        self._depth = d
+        if d > self._depth_hw:
+            self._depth_hw = d
+
+    def _push_future(self, entry: _QueueEntry) -> None:
+        """Insert a future-time entry (``entry[0] >= now``).
+
+        The one-entry ``_nf`` buffer always holds the minimum; a
+        smaller arrival displaces the buffered entry back into the
+        wheel/heap.  Which component stores an entry is purely a speed
+        decision — pops re-compare heads — so a conservative fall-back
+        to the far heap is always safe.
+
+        Depth accounting is the *caller's* job (compaction re-inserts
+        entries without re-counting them).
+        """
+        nf = self._nf
+        if nf is None:
+            self._nf = entry
+            return
+        if entry < nf:
+            self._nf = entry
+            entry = nf
+        abs_b = int(entry[0] * _BUCKETS_PER_S)
+        cursor = self._cursor_abs
+        if abs_b <= cursor:
+            # Lands in (or before) the already-drained bucket: insert
+            # into the sorted remainder of the current bucket.
+            insort(self._cur, entry, self._cur_pos)
+        elif abs_b - cursor < _WHEEL_SLOTS:
+            self._ring[abs_b & _WHEEL_MASK].append(entry)
+            self._ring_count += 1
+        else:
+            heappush(self._far, entry)
+
+    def _refill_nf(self) -> None:
+        """Re-fill the future-min buffer after its entry was consumed."""
+        cur = self._cur
+        pos = self._cur_pos
+        n = len(cur)
+        while pos >= n and self._ring_count:
+            self._advance_ring()
+            cur = self._cur
+            pos = self._cur_pos
+            n = len(cur)
+        far = self._far
+        if pos < n:
+            head = cur[pos]
+            if far and far[0] < head:
+                self._nf = heappop(far)
+                return
+            pos += 1
+            if pos > 32 and pos * 2 > n:
+                del cur[:pos]
+                pos = 0
+            self._cur_pos = pos
+            self._nf = head
+            return
+        if far:
+            self._nf = heappop(far)
+            return
+        self._nf = None
+
+    def _advance_ring(self) -> None:
+        """Move the cursor to the next non-empty wheel bucket and drain
+        it into ``_cur`` (sorted).
+
+        Entries from a *later lap* (same slot, absolute bucket ≥ one
+        full wheel revolution ahead) spill to the far heap.  The scan
+        may start at the current clock's bucket: every queued future
+        entry is at or after the last consumed minimum, so earlier
+        buckets cannot hold live entries.
+        """
+        ring = self._ring
+        far = self._far
+        b = self._cursor_abs + 1
+        j = int(self._now * _BUCKETS_PER_S)
+        if j > b:
+            b = j
+        while self._ring_count:
+            bucket = ring[b & _WHEEL_MASK]
+            if bucket:
+                self._ring_count -= len(bucket)
+                live: list[_QueueEntry] | None = None
+                for entry in bucket:
+                    if int(entry[0] * _BUCKETS_PER_S) == b:
+                        if live is None:
+                            live = []
+                        live.append(entry)
+                    else:
+                        heappush(far, entry)
+                del bucket[:]
+                if live is not None:
+                    live.sort()
+                    self._cur = live
+                    self._cur_pos = 0
+                    self._cursor_abs = b
+                    return
+            b += 1
+        self._cursor_abs = b
+        self._cur = []
+        self._cur_pos = 0
+
+    def _peek_entry(self) -> _QueueEntry | None:
+        """The next entry in (time, priority, seq) order, not removed."""
+        best = self._nf
+        due = self._due
+        if due:
+            head = due[0]
+            if best is None or head < best:
+                best = head
+        urgent = self._due_urgent
+        if urgent:
+            head = urgent[0]
+            if best is None or head < best:
+                best = head
+        return best
+
+    def _pop_entry(self) -> _QueueEntry | None:
+        """Remove and return the next entry, or ``None`` when empty."""
+        due = self._due
+        urgent = self._due_urgent
+        nf = self._nf
+        if urgent:
+            head = urgent[0]
+            src = urgent
+            if due and due[0] < head:
+                head = due[0]
+                src = due
+            if nf is None or head < nf:
+                src.popleft()
+                self._depth -= 1
+                return head
+        elif due:
+            head = due[0]
+            if nf is None or head < nf:
+                due.popleft()
+                self._depth -= 1
+                return head
+        elif nf is None:
+            return None
+        # Consume the buffered future minimum.  The common case — no
+        # other future entries pending — is inlined; _refill_nf scans
+        # the wheel otherwise.
+        self._depth -= 1
+        if (
+            not self._ring_count
+            and not self._far
+            and self._cur_pos >= len(self._cur)
+        ):
+            self._nf = None
+        else:
+            self._refill_nf()
+        return nf
+
+    # -- timer garbage compaction ----------------------------------------
+    def _note_stale_timer(self) -> None:
+        """A queued timer entry no longer matches its armed deadline."""
+        self._stale_timers += 1
+        if self._stale_timers >= _COMPACT_MIN_STALE:
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        depth_future = (
+            (1 if self._nf is not None else 0)
+            + len(self._cur)
+            - self._cur_pos
+            + self._ring_count
+            + len(self._far)
         )
+        if self._stale_timers * 2 >= depth_future:
+            self._compact_futures()
+
+    def _compact_futures(self) -> None:
+        """Physically drop stale lazily-cancelled timer entries.
+
+        Without this, a timer re-armed to a new deadline on every
+        event (the fluid fabric under churn) leaves one garbage entry
+        per re-arm in the queue until its old deadline passes —
+        unbounded state for an unbounded re-arm rate.  Dropping an
+        entry also removes its deadline from the timer's ``_queued``
+        list, preserving :meth:`Timer.arm_at`'s invariant of at most
+        one entry per distinct queued deadline.
+        """
+        survivors: list[_QueueEntry] = []
+        dropped = 0
+        entries: list[_QueueEntry] = []
+        if self._nf is not None:
+            entries.append(self._nf)
+        entries.extend(self._cur[self._cur_pos :])
+        for bucket in self._ring:
+            entries.extend(bucket)
+            del bucket[:]
+        entries.extend(self._far)
+        for entry in entries:
+            event = entry[3]
+            if type(event) is Timer and not (
+                event._armed and event._deadline == entry[0]
+            ):
+                event._queued.remove(entry[0])
+                dropped += 1
+            else:
+                survivors.append(entry)
+        self._nf = None
+        self._cur = []
+        self._cur_pos = 0
+        self._ring_count = 0
+        self._far = []
+        self._depth -= dropped
+        self._timer_entries_purged += dropped
+        self._timer_compactions += 1
+        self._stale_timers = 0
+        push = self._push_future
+        for entry in survivors:
+            push(entry)
+
+    # -- statistics -------------------------------------------------------
+    def note_coalesced_burst(self, events_saved: int = 0) -> None:
+        """Record one macro-event burst (see DESIGN.md §14)."""
+        self._bursts_coalesced += 1
+        self._burst_events_saved += events_saved
+
+    def sched_stats(self) -> dict[str, int]:
+        """Point-in-time scheduler counters (all monotone except depth)."""
+        return {
+            "events_processed": self._events_processed,
+            "queue_depth": self._depth,
+            "queue_depth_hw": self._depth_hw,
+            "timers_cancelled": self._timers_cancelled,
+            "timer_entries_purged": self._timer_entries_purged,
+            "timer_compactions": self._timer_compactions,
+            "bursts_coalesced": self._bursts_coalesced,
+            "burst_events_saved": self._burst_events_saved,
+        }
 
     # -- instrumentation -------------------------------------------------
     def add_step_hook(
@@ -184,14 +518,16 @@ class Environment:
     # -- run loop ----------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        entry = self._peek_entry()
+        return entry[0] if entry is not None else float("inf")
 
     def step(self) -> None:
         """Process exactly one event, advancing the clock to it."""
-        try:
-            when, _prio, seq, event = heapq.heappop(self._heap)
-        except IndexError:
-            raise EmptySchedule() from None
+        entry = self._pop_entry()
+        if entry is None:
+            raise EmptySchedule()
+        self._events_processed += 1
+        when, _prio, seq, event = entry
         if self._step_hooks or self._trace is not None:
             self._dispatch(when, seq, event)
             return
@@ -222,69 +558,158 @@ class Environment:
         if self._step_hooks or self._trace is not None:
             return self._run_instrumented(stop_at, stop_event)
 
-        # The three loop variants below are the peek()/step() loop with
-        # the per-event method and property calls flattened out — this
-        # is the simulator's innermost loop, so every attribute load
-        # per event counts.
-        heap = self._heap
-        pop = heapq.heappop
+        # The loop variants below are the peek()/step() loop with the
+        # per-event method and property calls flattened out — this is
+        # the simulator's innermost loop, so every attribute load per
+        # event counts.
+        # The processed-event count is kept in a loop-local int and
+        # flushed once on exit: a local increment is several times
+        # cheaper than a per-event attribute read-modify-write.  The
+        # two hottest variants additionally inline _pop_entry's
+        # due-head and buffered-future cases; the urgent deque (process
+        # starts/interrupts, comparatively rare) falls back to the
+        # method, which re-derives the full three-way minimum.
+        pop = self._pop_entry
+        due = self._due
+        urgent = self._due_urgent
+        refill = self._refill_nf
+        n = 0
         if stop_event is not None:
-            # ``callbacks is None`` == Event.processed without the
-            # property call; re-check before every event.
-            while stop_event.callbacks is not None:
-                if not heap:
-                    raise RuntimeError(
-                        "simulation ran out of events before the "
-                        f"requested stop event fired: {stop_event!r}"
-                    )
-                when, _prio, _seq, event = pop(heap)
-                self._now = when
-                event._process()
+            try:
+                # ``callbacks is None`` == Event.processed without the
+                # property call; re-check before every event.
+                while stop_event.callbacks is not None:
+                    if urgent:
+                        entry = pop()
+                        if entry is None:  # pragma: no cover - defensive
+                            raise RuntimeError(
+                                "simulation ran out of events before the "
+                                f"requested stop event fired: {stop_event!r}"
+                            )
+                    else:
+                        entry = self._nf
+                        if due:
+                            head = due[0]
+                            if entry is None or head < entry:
+                                due.popleft()
+                                entry = head
+                            elif (
+                                not self._ring_count
+                                and not self._far
+                                and self._cur_pos >= len(self._cur)
+                            ):
+                                self._nf = None
+                            else:
+                                refill()
+                        elif entry is not None:
+                            if (
+                                not self._ring_count
+                                and not self._far
+                                and self._cur_pos >= len(self._cur)
+                            ):
+                                self._nf = None
+                            else:
+                                refill()
+                        else:
+                            raise RuntimeError(
+                                "simulation ran out of events before the "
+                                f"requested stop event fired: {stop_event!r}"
+                            )
+                        self._depth -= 1
+                    n += 1
+                    self._now = entry[0]
+                    entry[3]._process()
+            finally:
+                self._events_processed += n
             if stop_event._ok:
                 return stop_event._value
             raise _t.cast(BaseException, stop_event._value)
         if stop_at is None:
-            while heap:
-                when, _prio, _seq, event = pop(heap)
-                self._now = when
-                event._process()
-            return None
-        while heap:
-            if heap[0][0] > stop_at:
-                self._now = stop_at
-                return None
-            when, _prio, _seq, event = pop(heap)
-            self._now = when
-            event._process()
-        return None
+            try:
+                while True:
+                    if urgent:
+                        entry = pop()
+                        if entry is None:  # pragma: no cover - defensive
+                            return None
+                    else:
+                        entry = self._nf
+                        if due:
+                            head = due[0]
+                            if entry is None or head < entry:
+                                due.popleft()
+                                entry = head
+                            elif (
+                                not self._ring_count
+                                and not self._far
+                                and self._cur_pos >= len(self._cur)
+                            ):
+                                self._nf = None
+                            else:
+                                refill()
+                        elif entry is not None:
+                            if (
+                                not self._ring_count
+                                and not self._far
+                                and self._cur_pos >= len(self._cur)
+                            ):
+                                self._nf = None
+                            else:
+                                refill()
+                        else:
+                            return None
+                        self._depth -= 1
+                    n += 1
+                    self._now = entry[0]
+                    entry[3]._process()
+            finally:
+                self._events_processed += n
+        peek = self._peek_entry
+        try:
+            while True:
+                entry = peek()
+                if entry is None:
+                    return None
+                if entry[0] > stop_at:
+                    self._now = stop_at
+                    return None
+                pop()
+                n += 1
+                self._now = entry[0]
+                entry[3]._process()
+        finally:
+            self._events_processed += n
 
     def _run_instrumented(
         self, stop_at: float | None, stop_event: Event | None
     ) -> _t.Any:
         """The run loop with per-event instrumentation enabled.
 
-        Mirrors the three fast-loop variants exactly (same stop
-        semantics, same event order) but routes every event through
+        Mirrors the fast-loop variants exactly (same stop semantics,
+        same event order) but routes every event through
         :meth:`_dispatch` so the trace hash and step hooks see it.
         """
-        heap = self._heap
-        pop = heapq.heappop
+        pop = self._pop_entry
         if stop_event is not None:
             while stop_event.callbacks is not None:
-                if not heap:
+                entry = pop()
+                if entry is None:
                     raise RuntimeError(
                         "simulation ran out of events before the "
                         f"requested stop event fired: {stop_event!r}"
                     )
-                when, _prio, seq, event = pop(heap)
-                self._dispatch(when, seq, event)
+                self._events_processed += 1
+                self._dispatch(entry[0], entry[2], entry[3])
             if stop_event._ok:
                 return stop_event._value
             raise _t.cast(BaseException, stop_event._value)
-        while heap:
-            if stop_at is not None and heap[0][0] > stop_at:
+        peek = self._peek_entry
+        while True:
+            entry = peek()
+            if entry is None:
+                return None
+            if stop_at is not None and entry[0] > stop_at:
                 self._now = stop_at
                 return None
-            when, _prio, seq, event = pop(heap)
-            self._dispatch(when, seq, event)
-        return None
+            pop()
+            self._events_processed += 1
+            self._dispatch(entry[0], entry[2], entry[3])

@@ -11,7 +11,6 @@ it, which is how errors propagate through simulated daemons.
 from __future__ import annotations
 
 import typing as _t
-from heapq import heappush as _heappush
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment
@@ -80,10 +79,15 @@ class Event:
         self._ok = True
         self._value = value
         # Inlined env.schedule(self): zero-delay normal-priority pushes
-        # are the single most common scheduling operation.
+        # are the single most common scheduling operation; they go
+        # straight to the sorted-by-construction due deque.
         env = self.env
         env._seq += 1
-        _heappush(env._heap, (env._now, 1, env._seq, self))
+        env._due.append((env._now, 1, env._seq, self))
+        d = env._depth + 1
+        env._depth = d
+        if d > env._depth_hw:
+            env._depth_hw = d
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -100,7 +104,11 @@ class Event:
         self._value = exception
         env = self.env
         env._seq += 1
-        _heappush(env._heap, (env._now, 1, env._seq, self))
+        env._due.append((env._now, 1, env._seq, self))
+        d = env._depth + 1
+        env._depth = d
+        if d > env._depth_hw:
+            env._depth_hw = d
         return self
 
     # -- hookup ----------------------------------------------------------
@@ -150,7 +158,18 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         env._seq += 1
-        _heappush(env._heap, (env._now + delay, 1, env._seq, self))
+        if delay == 0.0:
+            env._due.append((env._now, 1, env._seq, self))
+        elif env._nf is None:
+            # Fast path: no other future entry pending, so this one is
+            # trivially the minimum (common at low multiprogramming).
+            env._nf = (env._now + delay, 1, env._seq, self)
+        else:
+            env._push_future((env._now + delay, 1, env._seq, self))
+        d = env._depth + 1
+        env._depth = d
+        if d > env._depth_hw:
+            env._depth_hw = d
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -235,25 +254,57 @@ class Timer(Event):
             raise ValueError(
                 f"deadline {deadline} is in the past (now={env._now})"
             )
+        queued = self._queued
+        # Stale-entry accounting: a queued entry is *live* iff it is
+        # the armed deadline.  Superseding an armed deadline strands
+        # its entry; re-arming onto an already-queued (stale) deadline
+        # revives one.  The environment compacts when stale entries
+        # dominate (see Environment._compact_futures).
+        was_live = self._armed and self._deadline == deadline
+        if self._armed and self._deadline != deadline and self._deadline in queued:
+            env._note_stale_timer()
         self._armed = True
         self._deadline = deadline
-        if deadline not in self._queued:
-            self._queued.append(deadline)
+        if deadline in queued:
+            if not was_live and env._stale_timers > 0:
+                env._stale_timers -= 1
+        else:
+            queued.append(deadline)
             env._seq += 1
-            _heappush(env._heap, (deadline, 1, env._seq, self))
+            if deadline == env._now:
+                env._due.append((deadline, 1, env._seq, self))
+            else:
+                env._push_future((deadline, 1, env._seq, self))
+            d = env._depth + 1
+            env._depth = d
+            if d > env._depth_hw:
+                env._depth_hw = d
 
     def cancel(self) -> None:
         """Unschedule the pending fire (no-op when not armed)."""
+        if self._armed:
+            env = self.env
+            env._timers_cancelled += 1
+            if self._deadline in self._queued:
+                env._note_stale_timer()
         self._armed = False
 
     # -- engine hook ---------------------------------------------------------
     def _process(self) -> None:
         # One queued entry (the one for the current instant) has
         # popped; it fires only if it is still the armed deadline.
-        self._queued.remove(self.env._now)
-        if self._armed and self._deadline == self.env._now:
+        env = self.env
+        self._queued.remove(env._now)
+        if self._armed and self._deadline == env._now:
             self._armed = False
             self.on_fire(self)
+        elif env._stale_timers > 0:
+            # A stale entry drained on its own; it no longer counts
+            # toward the compaction trigger.  (Clamped: entries that
+            # sat in the due deque survive compactions, which only
+            # sweep the future structures, so the counter may already
+            # have been reset.)
+            env._stale_timers -= 1
 
     def __repr__(self) -> str:
         state = f"armed t={self._deadline}" if self._armed else "idle"

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import typing as _t
-from heapq import heappush as _heappush
 
 from repro.sim.events import Event, Interrupt
 
@@ -50,7 +49,11 @@ class Process(Event):
         start._value = None
         start.callbacks.append(self._resume)
         env._seq += 1
-        _heappush(env._heap, (env._now, 0, env._seq, start))
+        env._due_urgent.append((env._now, 0, env._seq, start))
+        d = env._depth + 1
+        env._depth = d
+        if d > env._depth_hw:
+            env._depth_hw = d
 
     @property
     def is_alive(self) -> bool:
@@ -105,15 +108,21 @@ class Process(Event):
             # closed generator.
             return
         self._waiting_on = None
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        # Hoisted bound methods: _resume runs once per generator
+        # round-trip, the hottest path outside the run loop itself.
+        generator = self._generator
+        send = generator.send
+        throw = generator.throw
         try:
             while True:
                 try:
-                    if event.ok:
-                        target = self._generator.send(event.value)
+                    if event._ok:
+                        target = send(event._value)
                     else:
-                        exc = _t.cast(BaseException, event.value)
-                        target = self._generator.throw(exc)
+                        exc = _t.cast(BaseException, event._value)
+                        target = throw(exc)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                     return
@@ -127,7 +136,7 @@ class Process(Event):
                     self._generator.close()
                     self.fail(err)
                     return
-                if target.env is not self.env:
+                if target.env is not env:
                     err = ValueError(
                         f"{self.name} yielded an event from a different "
                         "environment"
@@ -154,7 +163,7 @@ class Process(Event):
             else:  # pragma: no cover - double fault
                 raise
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
     def __repr__(self) -> str:
         return f"<Process {self.name} at {id(self):#x}>"

@@ -74,6 +74,28 @@ class Resource:
         """Claim one unit; the returned event fires when granted."""
         return Request(self)
 
+    def acquire_now(self) -> Request | None:
+        """Claim one unit synchronously, or ``None`` if it would queue.
+
+        The macro-event fast path (DESIGN.md §14) uses this to grab an
+        idle CPU without a request/grant event round-trip.  The
+        returned request is born granted and processed — nothing is
+        scheduled, so the grant leaves no trace-visible events — and
+        is released via :meth:`release` (or ``with``) exactly like an
+        ordinary request.  Refused whenever anyone is waiting, so FIFO
+        fairness against queued requests is preserved.
+        """
+        if self._waiting or len(self._holders) >= self.capacity:
+            return None
+        req = Request.__new__(Request)
+        req.env = self.env
+        req.callbacks = None  # processed from birth: no event fires
+        req._value = self
+        req._ok = True
+        req.resource = self
+        self._holders.add(req)
+        return req
+
     def release(self, request: Request) -> None:
         """Return a unit claimed by ``request``.
 

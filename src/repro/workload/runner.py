@@ -62,6 +62,7 @@ def run_instances(
     env.run(until=done)
     total = env.now - start
     cluster.record_network_metrics()  # net.* saturation counters
+    cluster.record_scheduler_metrics()  # sim.* event-loop counters
     metrics = cluster.metrics
     return RunOutcome(
         instances=[

@@ -5,6 +5,8 @@ to prove the custom lint catches each hazard class (and that ``noqa``
 suppression works).  Keep the hazards, they are the point.
 """
 
+import heapq  # RPL006: timestamp heap outside repro.sim
+
 shared_registry = {}  # RPL004: mutable module state, no reset hook
 
 suppressed_registry = []  # noqa: RPL004 -- proves suppression works

@@ -8,7 +8,7 @@ from repro.analysis.lint import lint_paths, main
 FIXTURE = Path(__file__).parent / "data" / "lint_fixture.py"
 SRC_TREE = Path(__file__).resolve().parents[1] / "src" / "repro"
 
-ALL_CODES = {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005"}
+ALL_CODES = {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"}
 
 
 def test_fixture_trips_every_rule():
@@ -74,3 +74,19 @@ def test_plain_helper_statement_not_flagged(tmp_path):
         "    plain(1)\n"
     )
     assert lint_paths([mod]) == []
+
+
+def test_rpl006_flags_heapq_outside_sim(tmp_path):
+    mod = tmp_path / "scheduler.py"
+    mod.write_text("from heapq import heappush\nimport heapq\n")
+    findings = lint_paths([mod])
+    assert [f.code for f in findings] == ["RPL006", "RPL006"]
+    assert "repro.sim" in findings[0].message
+
+
+def test_rpl006_exempts_the_engine_package(tmp_path):
+    simdir = tmp_path / "repro" / "sim"
+    simdir.mkdir(parents=True)
+    engine = simdir / "engine.py"
+    engine.write_text("import heapq\nheapq.heapify([])\n")
+    assert lint_paths([engine]) == []

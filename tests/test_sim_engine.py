@@ -482,3 +482,96 @@ def test_deterministic_replay():
         return trace
 
     assert scenario() == scenario()
+
+
+# ---------------------------------------------------------------------------
+# Event-queue fast path (timer wheel + far heap + compaction, DESIGN.md §14)
+# ---------------------------------------------------------------------------
+
+
+def test_randomized_timeout_storm_fires_in_order():
+    """Differential check of the wheel/deque/heap queue against a
+    plain sorted reference: same-priority events must fire in exact
+    (time, creation-order) sequence no matter which structure each
+    entry landed in (due deque, current bucket, calendar ring, or far
+    heap)."""
+    import random
+
+    rng = random.Random(0xC0FFEE)
+    env = Environment()
+    fired = []
+    created = []
+
+    def spawn(env):
+        tag = 0
+        for _ in range(40):
+            for _ in range(rng.randrange(1, 40)):
+                delay = rng.choice(
+                    (
+                        0.0,  # due deque
+                        rng.random() * 0.01,  # calendar ring
+                        rng.random() * 5.0,  # far heap
+                        round(rng.random(), 2),  # deliberate ties
+                    )
+                )
+                ev = env.timeout(delay)
+                when = env.now + delay
+                created.append((when, tag))
+                ev.callbacks.append(
+                    lambda _e, when=when, tag=tag: fired.append((when, tag))
+                )
+                tag += 1
+            yield env.timeout(rng.random() * 0.05)
+
+    env.process(spawn(env))
+    env.run()
+    assert len(fired) == len(created)
+    # Tags rise with engine sequence numbers, so a stable sort of the
+    # creation log is exactly the order a correct queue must pop.
+    assert fired == sorted(created)
+
+
+def test_timer_rearm_churn_keeps_queue_bounded():
+    """Re-arming a timer leaves its old entry behind (lazy
+    cancellation); eager compaction must physically drop the garbage
+    so unbounded re-arm churn cannot grow the queue without bound."""
+    env = Environment()
+    timer = env.timer(lambda t: None)
+
+    def churn(env):
+        deadline = 1000.0
+        for _ in range(5000):
+            deadline += 1.0
+            timer.arm_at(deadline)  # strands an entry at the old slot
+            yield env.timeout(0.001)
+
+    proc = env.process(churn(env))
+    env.run(until=proc)
+    stats = env.sched_stats()
+    assert stats["timer_compactions"] > 0
+    assert stats["timer_entries_purged"] >= 4000
+    # 5000 stale entries were created; compaction keeps live state to
+    # the survivors plus at most one sub-threshold stale batch.
+    assert stats["queue_depth"] < 200
+
+
+def test_compaction_preserves_the_live_deadline():
+    """Compacting away stale entries must keep the armed one firing."""
+    env = Environment()
+    fired = []
+    timer = env.timer(lambda t: fired.append(env.now))
+
+    survivor = []
+
+    def churn(env):
+        for i in range(200):
+            timer.arm_at(1000.0 + i)
+            yield env.timeout(0.001)
+        survivor.append(env.now + 0.5)  # the deadline that must survive
+        timer.arm_at(survivor[0])
+
+    proc = env.process(churn(env))
+    env.run(until=proc)
+    assert env.sched_stats()["timer_compactions"] > 0
+    env.run(until=5.0)
+    assert fired == survivor

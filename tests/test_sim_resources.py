@@ -231,3 +231,69 @@ def test_store_many_getters_fifo():
     env.process(producer(env))
     env.run()
     assert got == [("g0", 0), ("g1", 1), ("g2", 2)]
+
+
+# ---------------------------------------------------------------------------
+# Resource.acquire_now (macro-event fast path, DESIGN.md §14)
+# ---------------------------------------------------------------------------
+
+
+def test_acquire_now_grants_idle_capacity_without_events():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    depth_before = env.sched_stats()["queue_depth"]
+    grant = res.acquire_now()
+    assert grant is not None
+    # Synchronous grant: nothing was scheduled.
+    assert env.sched_stats()["queue_depth"] == depth_before
+    assert res.acquire_now() is None  # at capacity
+    res.release(grant)
+    again = res.acquire_now()
+    assert again is not None
+    res.release(again)
+
+
+def test_acquire_now_refuses_while_requests_wait():
+    """FIFO fairness: a synchronous grant must never jump the queue."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(1.0)
+        res.release(req)
+        order.append(("released", env.now))
+
+    def waiter(env):
+        req = res.request()
+        yield req
+        order.append(("waiter", env.now))
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+
+    def prober(env):
+        yield env.timeout(0.5)
+        order.append(("probe-held", res.acquire_now() is None))
+        yield env.timeout(1.0)  # after release: the waiter must win
+        order.append(("probe-after", res.acquire_now() is not None))
+
+    env.process(prober(env))
+    env.run()
+    assert ("probe-held", True) in order
+    assert ("waiter", 1.0) in order
+    assert ("probe-after", True) in order
+
+
+def test_acquire_now_respects_multi_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    first = res.acquire_now()
+    second = res.acquire_now()
+    assert first is not None and second is not None
+    assert res.acquire_now() is None
+    res.release(first)
+    assert res.acquire_now() is not None
