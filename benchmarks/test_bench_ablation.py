@@ -254,7 +254,7 @@ def test_ablation_readahead_sequential_scan(benchmark):
     assert prefetched < plain
 
 
-# -- 8. fabric model --------------------------------------------------------------------
+# -- 8. fabric model ---------------------------------------------------------
 
 
 def test_ablation_hub_vs_switch(benchmark):

@@ -39,6 +39,8 @@ from __future__ import annotations
 import os
 import typing as _t
 
+from repro.analysis.reset import register_reset
+
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.manager import BufferManager
     from repro.sim.engine import Environment
@@ -51,7 +53,32 @@ SANITIZE_ENV_VAR = "REPRO_SANITIZE"
 #: ``1`` checks at every scheduler step.
 EVERY_ENV_VAR = "REPRO_SANITIZE_EVERY"
 
+#: When set to a file path, every executed ``atomic_section`` appends
+#: its label there (first hit per label per reset).  ``python -m
+#: repro.analysis flow --runtime-coverage FILE`` then reports the
+#: statically known sections the run never reached.
+COVERAGE_ENV_VAR = "REPRO_ATOMIC_COVERAGE_FILE"
+
 DEFAULT_CHECK_EVERY = 32
+
+#: Labels already appended to the coverage file — a write-dedup cache
+#: only (duplicates in the file are harmless; the reader de-dups).
+_covered_labels: set[str] = set()
+
+
+@register_reset
+def _reset_covered_labels() -> None:
+    global _covered_labels
+    _covered_labels = set()
+
+
+def _record_coverage(label: str) -> None:
+    path = os.environ.get(COVERAGE_ENV_VAR)
+    if not path or label in _covered_labels:
+        return
+    _covered_labels.add(label)
+    with open(path, "a") as fh:
+        fh.write(label + "\n")
 
 
 class InvariantViolation(AssertionError):
@@ -243,6 +270,7 @@ def atomic_section(
     it, returns a shared no-op — cheap enough for miss-path call
     sites.
     """
+    _record_coverage(label)
     tracker = (
         getattr(structures[0], "_san_tracker", None) if structures else None
     )
@@ -393,7 +421,15 @@ class CacheSanitizer:
                     f"{block.state.value} block {block!r} is on the "
                     "dirty list"
                 )
-            if block.doomed and block.pins == 0:
+            if (
+                block.doomed
+                and block.pins == 0
+                and block.state is not BlockState.PENDING
+            ):
+                # PENDING is exempt: a coherence invalidation that
+                # races an in-flight fetch dooms the block and lets
+                # the fetch finish; the drop happens at make_ready
+                # (unpinned prefetches) or at the last unpin.
                 self._fail(
                     f"doomed block {block!r} survived its last unpin"
                 )

@@ -7,6 +7,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.analysis.sanitize import atomic_section, maybe_install
+from repro.analysis.shared import shared_state
 from repro.cache.block import BlockKey, BlockState, CacheBlock
 from repro.cache.clock import ClockPolicy, ExactLRUPolicy
 from repro.cache.dirtylist import DirtyList
@@ -17,6 +18,7 @@ from repro.metrics import Metrics
 from repro.sim import Environment
 
 
+@shared_state("table", "freelist", "dirtylist", "policy", "_inflight")
 class BufferManager:
     """Owns every cache frame of one node's cache module.
 
@@ -104,7 +106,10 @@ class BufferManager:
                 yield pending
                 continue
             reservation = self.env.event()
-            self._inflight[key] = reservation
+            # The flow analyzer's linear model cannot see that waiting
+            # on a rival's reservation loops back to a fresh re-probe
+            # (the `continue` above) before reaching this write.
+            self._inflight[key] = reservation  # noqa: RPL100 - re-probed after wait
             try:
                 block = yield from self.freelist.acquire()
             except BaseException:
@@ -118,7 +123,11 @@ class BufferManager:
                 self.table, self.policy, label="get_or_allocate.commit"
             ):
                 block.assign(key, self.env.event())
-                self.table.insert(block)
+                # The miss-probe of `table` happened before the
+                # freelist wait, but a rival insert of this key is
+                # impossible: our _inflight reservation (registered
+                # with no intervening yield) makes rivals wait.
+                self.table.insert(block)  # noqa: RPL100 - guarded by reservation
                 self.policy.admit(block)
                 del self._inflight[key]
                 reservation.succeed(block)
@@ -171,10 +180,14 @@ class BufferManager:
         """Coherence: drop ``key`` if resident (even dirty — the remote
         sync_write wins).  True when a copy was (or will be) dropped.
 
-        A PENDING block is left alone: its in-flight fetch reads the
-        iod *after* the sync_write landed there, so the data it brings
-        back is already current.  A pinned block (mid-copy in some
-        reader) is marked *doomed* and dropped when the last pin
+        A PENDING block is marked *doomed*: the iod snapshots the
+        bytes for the in-flight fetch when the read *request* is
+        handled, which can be before the racing sync_write lands
+        there, so the data the fetch brings back may already be
+        stale.  The fetch completes normally (its waiters still need
+        an answer for this access) and the block is dropped the
+        moment it is READY and unpinned.  A pinned block (mid-copy in
+        some reader) is likewise doomed and dropped when the last pin
         releases — a kernel cannot rip a page out from under an
         in-progress copy either.
         """
@@ -182,7 +195,9 @@ class BufferManager:
         if block is None:
             return False
         if block.state is BlockState.PENDING:
-            return False
+            block.doomed = True
+            self.metrics.inc(f"{self.name}.deferred_invalidations")
+            return True
         if block.pins:
             block.doomed = True
             self.metrics.inc(f"{self.name}.deferred_invalidations")

@@ -530,6 +530,14 @@ class CacheModule(Service):
                 self._merge_range(handle.file_id, roff, rlen, chunk, owned, gappy)
         for block in owned.values():
             block.make_ready()
+            if block.doomed and block.pins == 0:
+                # A coherence invalidation raced this fetch: the iod
+                # snapshot may predate the remote sync_write, so the
+                # bytes just merged can be stale.  Unpinned here means
+                # nobody is mid-copy (a prefetch), so drop the block
+                # now; pinned blocks are dropped by the last unpin.
+                self.manager.evict(block, force=True)
+                self.metrics.inc(f"{self.manager.name}.invalidated_blocks")
         # Count what actually crossed the wire (hull mode re-fetches
         # cached middle blocks, so this can exceed the needed ranges).
         self.metrics.inc("cache.fetched_bytes", requested_bytes)

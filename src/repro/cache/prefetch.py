@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from repro.analysis.shared import shared_state
 from repro.pvfs.protocol import FileHandle
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -34,6 +35,7 @@ class _FileStream:
     sequential_runs: int = 0
 
 
+@shared_state("_streams", "_inflight")
 class ReadAhead:
     """Per-node sequential prefetcher."""
 

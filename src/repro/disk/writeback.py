@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from repro.analysis.shared import shared_state
 from repro.disk.model import DiskModel
 from repro.sim import Environment
 from repro.svc import Service, handles
@@ -35,6 +36,7 @@ class WritebackItem:
     kind: _t.ClassVar[str] = "writeback"
 
 
+@shared_state("dirty_bytes")
 class WritebackDaemon(Service):
     """FIFO background writer over one disk.
 
@@ -75,7 +77,10 @@ class WritebackDaemon(Service):
         while self.dirty_bytes + item.nbytes > self.max_dirty_bytes:
             self.throttle_waits += 1
             yield self._drained
-        self.dirty_bytes += item.nbytes
+        # Safe despite the yield above: the while condition re-reads
+        # the gauge after every wakeup, so the increment never acts on
+        # a stale reading.
+        self.dirty_bytes += item.nbytes  # noqa: RPL100 - loop re-checks gauge
         yield self.mailbox.put(item)
 
     def _pump(self) -> _t.Generator:

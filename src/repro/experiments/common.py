@@ -95,7 +95,9 @@ class ExperimentResult:
                     row.append("-")
             rows.append(row)
         widths = [
-            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+            max(len(headers[i]), *(len(r[i]) for r in rows))
+            if rows
+            else len(headers[i])
             for i in range(len(headers))
         ]
         lines = [

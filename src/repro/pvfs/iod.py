@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import typing as _t
 
+from repro.analysis.shared import shared_state
 from repro.cluster.node import Node
 from repro.disk.filesystem import blocks_spanned
 from repro.disk.writeback import WritebackItem
@@ -29,6 +30,7 @@ from repro.pvfs.striping import StripeLayout
 from repro.svc import Service, handles
 
 
+@shared_state("directory")
 class Iod(Service):
     """One I/O daemon bound to a storage node."""
 
@@ -223,7 +225,12 @@ class Iod(Service):
         for off, n in req.ranges:
             for block in blocks_spanned(off, n, self.block_size):
                 key = (req.file_id, block)
-                for sharer in self.directory.get(key, ()):
+                # Sorted: the directory entry is a set, and the order
+                # sharers are visited here decides the order their
+                # invalidation messages hit the wire — iterating the
+                # raw set would tie the packet schedule (and thus every
+                # downstream event) to the string hash seed.
+                for sharer in sorted(self.directory.get(key, ())):
                     if sharer != req.requester_node:
                         victims.setdefault(sharer, []).append(key)
                 # After a sync write only the writer's copy is current.

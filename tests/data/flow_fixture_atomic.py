@@ -1,0 +1,22 @@
+"""Flow-analyzer fixture: RPL101 yield-inside-atomic seeds."""
+
+from repro.analysis.sanitize import atomic_section
+from repro.analysis.shared import shared_state
+
+
+@shared_state("table")
+class Sectioned:
+    def __init__(self, env):
+        self.env = env
+        self.table = {}
+
+    def yields_inside_section(self, key):
+        with atomic_section(self.table, label="bad_section"):
+            value = self.table.get(key)
+            yield self.env.timeout(1)  # RPL101
+            self.table[key] = value
+
+    def clean_section(self, key):  # clean: the yield is outside
+        with atomic_section(self.table, label="good_section"):
+            self.table[key] = self.table.get(key)
+        yield self.env.timeout(1)

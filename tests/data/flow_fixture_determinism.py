@@ -1,0 +1,43 @@
+"""Flow-analyzer fixture: RPL110 unordered-iteration seeds.
+
+Violations iterate an unordered collection into a scheduling /
+emission / selection sink; "safe" variants sanction the iteration
+with sorted()/min()/aggregation or never reach a sink.
+"""
+
+
+class Fanout:
+    def __init__(self, env):
+        self.env = env
+        self.peers: set[str] = set()
+        self.waiters: dict[str, set[str]] = {}
+        self.outbox: list[str] = []
+
+    def emit_unordered(self, channel):
+        for peer in self.peers:  # RPL110
+            yield channel.send(peer)
+
+    def capture_unordered(self, key):
+        for peer in self.waiters.get(key, set()):  # RPL110
+            self.outbox.append(peer)
+
+    def schedule_unordered(self, extra, pool):
+        for peer in self.peers | extra:  # RPL110
+            pool.process(peer)
+
+    def list_of_set(self):
+        order = [p for p in self.peers]  # RPL110
+        return order
+
+    def sorted_is_safe(self, channel):  # clean: sorted() sanctions
+        for peer in sorted(self.peers):
+            yield channel.send(peer)
+
+    def aggregation_is_safe(self):  # clean: order-insensitive fold
+        total = 0
+        for peer in self.peers:
+            total += len(peer)
+        return total
+
+    def set_to_set_is_safe(self):  # clean: set -> set keeps no order
+        return {p.upper() for p in self.peers}

@@ -1,0 +1,25 @@
+"""Fixture shared by the lint and flow analyzers: one module that
+trips RPL006 (heap ties victim order to hash) under `repro.analysis
+lint` and RPL100 under `repro.analysis flow` — each analyzer must
+report only its own codes here.
+"""
+
+import heapq  # RPL006
+
+from repro.analysis.shared import shared_state
+
+
+@shared_state("queue")
+class TimerWheel:
+    def __init__(self, env):
+        self.env = env
+        self.queue: list[tuple[float, object]] = []
+
+    def push(self, deadline, item):
+        heapq.heappush(self.queue, (deadline, item))
+
+    def racy_pop(self, timeout):
+        head = self.queue[0]
+        yield self.env.timeout(timeout)
+        self.queue.pop(0)  # RPL100
+        return head

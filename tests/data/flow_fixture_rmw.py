@@ -1,0 +1,54 @@
+"""Flow-analyzer fixture: RPL100 read-modify-write seeds.
+
+Each violating line carries its expected code in a trailing comment;
+the test matches reported findings against those markers.  Functions
+marked "clean" must produce no findings (false-positive guards).
+"""
+
+from repro.analysis.sanitize import atomic_section
+from repro.analysis.shared import shared_state
+
+
+@shared_state("table", "counters")
+class Manager:
+    def __init__(self, env):
+        self.env = env
+        self.table = {}
+        self.counters = {}
+
+    def racy_rmw(self, key):
+        value = self.table.get(key)
+        yield self.env.timeout(1)
+        self.table[key] = value  # RPL100
+
+    def racy_mutator(self, key):
+        snapshot = len(self.table)
+        yield self.env.timeout(1)
+        self.table.pop(key, None)  # RPL100
+        return snapshot
+
+    def guarded_rmw(self, key):  # clean: atomic_section covers both ends
+        with atomic_section(self.table, label="guarded_rmw"):
+            value = self.table.get(key)
+            self.table[key] = value
+        yield self.env.timeout(1)
+
+    def write_before_yield(self, key):  # clean: write precedes the yield
+        self.table[key] = 1
+        yield self.env.timeout(1)
+
+    def read_only_span(self, key):  # clean: no write-back after the yield
+        value = self.table.get(key)
+        yield self.env.timeout(1)
+        return value
+
+    def deep_leaf(self):  # may-yield seed of the 3-deep chain
+        yield self.env.timeout(1)
+
+    def deep_mid(self):  # may-yield via deep_leaf
+        yield from self.deep_leaf()
+
+    def indirect_rmw(self, key):
+        value = self.counters.get(key, 0)
+        yield from self.deep_mid()
+        self.counters[key] = value + 1  # RPL100

@@ -172,8 +172,10 @@ def test_invalidate_semantics():
     def proc(env):
         assert m.invalidate((9, 9)) is False  # absent
         block, _ = yield from m.get_or_allocate((1, 0))
-        # PENDING: left alone
-        assert m.invalidate((1, 0)) is False
+        # PENDING: doomed, so the fetch path discards the in-flight
+        # fill instead of publishing possibly-stale bytes.
+        assert m.invalidate((1, 0)) is True
+        assert block.doomed
         block.make_ready()
         # pinned: deferred
         block.pin()

@@ -191,7 +191,10 @@ def test_property_invariants_sorted_disjoint(ivals):
 
 
 @settings(max_examples=200)
-@given(ivals=intervals_strategy, probe=st.tuples(st.integers(0, 100), st.integers(0, 100)))
+@given(
+    ivals=intervals_strategy,
+    probe=st.tuples(st.integers(0, 100), st.integers(0, 100)),
+)
 def test_property_gaps_partition_probe(ivals, probe):
     """gaps + intersect exactly tile any probe window."""
     lo, hi = min(probe), max(probe)

@@ -1,0 +1,102 @@
+"""Regression tests for two races the flow analyzer surfaced.
+
+1. A ``sync_write`` invalidation arriving while the target block is
+   PENDING (fetch in flight) used to be skipped entirely, leaving the
+   just-fetched — and possibly stale — bytes resident forever.  The
+   fix dooms the PENDING block so the fetch path discards it.
+2. The iod's ``_invalidate_sharers`` used to iterate the raw sharer
+   set, tying the invalidation packet order (and every downstream
+   event) to the string hash seed.
+"""
+
+import types
+
+from repro.cache.block import BlockState
+from repro.pvfs.iod import Iod
+from tests.conftest import make_cluster, run_app
+
+
+def test_pending_invalidate_discards_in_flight_fetch(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    monkeypatch.setenv("REPRO_SANITIZE_EVERY", "1")
+    cluster = make_cluster()
+    client = cluster.client("node0")
+    manager = cluster.cache_modules["node0"].manager
+    metrics = cluster.metrics
+    env = cluster.env
+
+    def invalidator(env, key):
+        # wait until the demand fetch has allocated the PENDING block
+        for _ in range(100_000):
+            block = manager.table.get(key)
+            if block is not None and block.state is BlockState.PENDING:
+                break
+            yield env.timeout(1e-7)
+        else:
+            raise AssertionError("fetch never left a PENDING block")
+        # the racing coherence message: must doom, not skip
+        assert manager.invalidate(key) is True
+        assert block.doomed
+
+    def app(env):
+        f = yield from client.open("/raced")
+        key = (f.file_id, 0)
+        racer = env.process(invalidator(env, key))
+        yield from client.read(f, 0, 4096)
+        yield racer
+        # the doomed block was discarded, not published
+        assert manager.table.get(key) is None
+        assert metrics.count(f"{manager.name}.deferred_invalidations") == 1
+        # a re-read must go back to the iod instead of hitting the
+        # stale snapshot (the old behaviour: permanent stale hit)
+        misses = metrics.count("cache.misses")
+        yield from client.read(f, 0, 4096)
+        assert metrics.count("cache.misses") == misses + 1
+
+    run_app(cluster, app(cluster.env))
+    manager.sanitizer.check()
+
+
+def test_invalidation_fanout_order_is_hash_independent():
+    """Sharers must be invalidated in sorted order, whatever the
+    iteration order of the directory's sharer set."""
+    sharers = {f"node-{c}" for c in "zyxwvutsrqponmlkjihgfedcba"}
+    iod = object.__new__(Iod)
+    iod.block_size = 4096
+    iod.directory = {(7, 0): set(sharers) | {"writer"}}
+    contacted = []
+
+    class _Call:
+        def response(self):
+            return None
+
+        def close(self):
+            return None
+
+    class _Channel:
+        def call(self, message):
+            return _Call()
+
+    class _Pool:
+        def channel(self, node_name):
+            contacted.append(node_name)
+            return _Channel()
+            yield  # pragma: no cover - makes this a generator
+
+    iod._invalidate_pool = _Pool()
+    iod.metrics = types.SimpleNamespace(inc=lambda *a, **k: None)
+    iod._emit = lambda *a, **k: None
+
+    req = types.SimpleNamespace(
+        file_id=7, ranges=[(0, 4096)], requester_node="writer"
+    )
+    gen = iod._invalidate_sharers(req)
+    try:
+        while True:
+            gen.send(None)
+    except StopIteration:
+        pass
+
+    assert contacted == sorted(sharers)
+    # the writer's own (current) copy survives in the directory
+    assert iod.directory[(7, 0)] == {"writer"}

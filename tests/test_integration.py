@@ -165,7 +165,8 @@ def test_mixed_cached_and_raw_writers_after_drain():
                 yield from raw.write(f, offset, nbytes, data)
                 # keep cache coherent with out-of-band write
                 for module in cluster.cache_modules.values():
-                    for block_no in range(offset // 4096, (offset + nbytes - 1) // 4096 + 1):
+                    last = (offset + nbytes - 1) // 4096
+                    for block_no in range(offset // 4096, last + 1):
                         module.manager.invalidate((f.file_id, block_no))
         yield from cluster.drain_caches()
         got = yield from raw.read(f, 0, file_bytes, want_data=True)

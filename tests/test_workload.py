@@ -90,8 +90,11 @@ def test_mixed_locality_statistics():
 
 
 def test_deterministic_given_seed():
-    a = [(d.target, d.offset) for d in _pattern(locality=0.5, sharing=0.5, seed=3).stream(50)]
-    b = [(d.target, d.offset) for d in _pattern(locality=0.5, sharing=0.5, seed=3).stream(50)]
+    def pat():
+        return _pattern(locality=0.5, sharing=0.5, seed=3)
+
+    a = [(d.target, d.offset) for d in pat().stream(50)]
+    b = [(d.target, d.offset) for d in pat().stream(50)]
     assert a == b
 
 
@@ -100,7 +103,9 @@ def test_per_target_cursors_independent():
     descs = list(p.stream(100))
     for target in ("shared", "private"):
         fresh_offsets = [d.offset for d in descs if d.target == target and d.fresh]
-        assert fresh_offsets == sorted(fresh_offsets) or len(set(fresh_offsets)) < len(fresh_offsets)
+        assert fresh_offsets == sorted(fresh_offsets) or len(
+            set(fresh_offsets)
+        ) < len(fresh_offsets)
         # sequential walk: consecutive fresh offsets advance by d
         for a, b in zip(fresh_offsets, fresh_offsets[1:]):
             assert (b - a) % 4096 == 0
@@ -174,7 +179,10 @@ def test_run_instances_read_mode():
 
 def test_run_instances_write_and_sync_modes():
     config = ClusterConfig(compute_nodes=1, iod_nodes=1, caching=True)
-    for mode, counter in (("write", "client.writes"), ("sync-write", "client.sync_writes")):
+    for mode, counter in (
+        ("write", "client.writes"),
+        ("sync-write", "client.sync_writes"),
+    ):
         params = MicroBenchParams(
             nodes=["node0"], request_size=8192, iterations=3, mode=mode,
             partition_bytes=1 << 20,
