@@ -36,6 +36,13 @@ the perf trajectory is visible across PRs:
   the macro path on.  Fig4 is the zero-locality *overhead* figure —
   every read misses, the macro path only ever declines — so this
   entry guards the probe-and-bail overhead, not a speedup.
+* ``trace_replay_s`` — a recorded fig4-style microbench trace
+  replayed closed-loop through :class:`TraceReplayer`.  Two
+  host-independent gates ride along: the replay's event count must be
+  identical across repeats (replay is deterministic), and must stay
+  within ``TRACE_REPLAY_EVENT_OVERHEAD``x of the original recorded
+  run's event count — replaying a trace must not inflate the event
+  budget of the run it reproduces.
 
 If the baseline file is missing — or ``REPRO_BENCH_UPDATE=1`` is set —
 the current numbers are written as the new baseline and the test is
@@ -99,6 +106,13 @@ MACRO_SPEEDUP_FLOOR = 2.0
 #: same simulated reads.  Event counts are deterministic, so this
 #: ratio is exactly host-independent; observed ~5.9x.
 MACRO_EVENT_RATIO_FLOOR = 2.5
+
+#: Replaying a recorded run may process at most this many times the
+#: events of the run it was recorded from.  Event counts are
+#: deterministic, so the ratio is exactly host-independent; observed
+#: ~1.0x (the replayer drives the same client calls the generator
+#: did, minus the generator's own bookkeeping).
+TRACE_REPLAY_EVENT_OVERHEAD = 1.5
 
 
 def _measure_events_per_sec(n_events: int = 200_000, rounds: int = 3) -> float:
@@ -334,6 +348,51 @@ def _measure_macro_replay(
     return min(r[0] for r in results), results[0][1]
 
 
+def _measure_trace_replay(rounds: int = 3) -> tuple[float, int, int]:
+    """A recorded microbench trace replayed closed-loop, best of 3.
+
+    Records a fig4-style read run (p=2, 64 x 4 KB requests per rank)
+    into the trace IR, then replays it against a fresh cluster of the
+    same shape.  Returns (best wall-clock seconds, replay events
+    processed, recorded-run events processed); both event counts are
+    deterministic across rounds and hosts.
+    """
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.config import ClusterConfig
+    from repro.workload import MicroBenchParams, run_instances
+    from repro.workload.replay import TraceReplayer
+
+    config = ClusterConfig(compute_nodes=2, iod_nodes=2)
+    params = MicroBenchParams(
+        nodes=config.compute_node_names(),
+        request_size=4096,
+        iterations=64,
+        mode="read",
+        locality=0.0,
+        partition_bytes=2 * 2**20,
+        seed=1234,
+    )
+    outcome = run_instances(config, [params], record=True)
+    source_events = outcome.cluster.env.sched_stats()["events_processed"]
+    trace = outcome.trace
+    assert trace is not None and len(trace) == 2 * 64
+
+    def replay() -> tuple[float, int]:
+        cluster = Cluster(ClusterConfig(compute_nodes=2, iod_nodes=2))
+        replayer = TraceReplayer(cluster, trace, preserve_timing=False)
+        t0 = time.perf_counter()
+        replayer.run()
+        elapsed = time.perf_counter() - t0
+        return elapsed, cluster.env.sched_stats()["events_processed"]
+
+    results = [replay() for _ in range(rounds)]
+    replay_events = {events for _, events in results}
+    assert len(replay_events) == 1, (
+        f"trace replay event count not deterministic: {replay_events}"
+    )
+    return min(r[0] for r in results), results[0][1], source_events
+
+
 def test_engine_regression(monkeypatch):
     monkeypatch.setenv(WORKERS_ENV_VAR, "1")  # comparable across hosts
     monkeypatch.delenv(NET_MODEL_ENV_VAR, raising=False)
@@ -347,6 +406,7 @@ def test_engine_regression(monkeypatch):
     cold_queued = _measure_disk_cold_sweep_s("queued")
     macro_off_s, macro_off_events = _measure_macro_replay(False)
     macro_on_s, macro_on_events = _measure_macro_replay(True)
+    replay_s, replay_events, source_events = _measure_trace_replay()
     fig4_frames = _measure_fig4_quick_sweep_s()
     monkeypatch.setenv(NET_MODEL_ENV_VAR, "fluid")
     fig4_fluid = _measure_fig4_quick_sweep_s()
@@ -367,7 +427,17 @@ def test_engine_regression(monkeypatch):
         "disk_cold_sweep_queued_s": round(cold_queued, 3),
         "macro_replay_off_s": round(macro_off_s, 4),
         "macro_replay_on_s": round(macro_on_s, 4),
+        "trace_replay_s": round(replay_s, 4),
     }
+    # Host-independent gate: replaying a recorded run drives the same
+    # client calls the generator did, so it must not inflate the event
+    # budget of the run it reproduces.
+    replay_overhead = replay_events / source_events
+    assert replay_overhead <= TRACE_REPLAY_EVENT_OVERHEAD, (
+        f"trace replay processed {replay_overhead:.2f}x the recorded "
+        f"run's events ({source_events} -> {replay_events}; ceiling "
+        f"{TRACE_REPLAY_EVENT_OVERHEAD}x)"
+    )
     # Host-independent gate: the fluid model's whole point is removing
     # per-frame events from the wire, so its replay must stay at least
     # FLUID_SPEEDUP_FLOOR times faster than frame-by-frame simulation.

@@ -1,10 +1,12 @@
 """Record a workload's I/O trace, then replay it under different policies.
 
 The paper's closing lament is the lack of benchmarks "containing groups
-of applications sharing data".  Traces fill that gap: this example
-records the request stream of a two-application sharing workload, saves
-it as CSV, and replays the *identical* workload against three cluster
-configurations to compare policies apples-to-apples:
+of applications sharing data".  The trace IR fills that gap: this
+example records the request stream of a two-application sharing
+workload into the versioned JSONL format, replays the *identical*
+workload against three cluster configurations to compare policies
+apples-to-apples, then uses a transform pass to double the workload
+and replay that too:
 
 * original PVFS (no caching),
 * the paper's kernel cache module,
@@ -15,14 +17,15 @@ Run:  python examples/trace_replay.py
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import CacheConfig, ClusterConfig
-from repro.workload.trace import TraceRecorder, TraceReplayer, loads_trace
+from repro.workload.trace import TraceRecorder, TraceReplayer, loads
+from repro.workload.transform import scale_out
 
 STEP = 32 * 1024
 STEPS = 12
 
 
 def record_workload() -> str:
-    """Run a two-app producer/consumer + scanning mix; return its CSV."""
+    """Run a two-app producer/consumer + scanning mix; return its JSONL."""
     cluster = Cluster(ClusterConfig(compute_nodes=2, iod_nodes=2))
     recorder = TraceRecorder(cluster)
     producer = recorder.attach(cluster.client("node0"), "producer")
@@ -52,10 +55,10 @@ def record_workload() -> str:
     return recorder.dumps()
 
 
-def replay(csv_text: str, label: str, config: ClusterConfig) -> float:
-    events = loads_trace(csv_text)
+def replay(trace_text: str, label: str, config: ClusterConfig) -> float:
+    trace = loads(trace_text)
     cluster = Cluster(config)
-    makespan = TraceReplayer(cluster, events, preserve_timing=True).run()
+    makespan = TraceReplayer(cluster, trace, preserve_timing=True).run()
     read_lat = cluster.metrics.mean("client.read_latency")
     write_lat = cluster.metrics.mean("client.write_latency")
     print(
@@ -66,27 +69,29 @@ def replay(csv_text: str, label: str, config: ClusterConfig) -> float:
 
 
 def main() -> None:
-    csv_text = record_workload()
-    n_events = csv_text.count("\n") - 1
-    print(f"recorded {n_events} requests from 3 processes; replaying the")
-    print("identical stream (original arrival times) under three policies,")
-    print("on a cluster with cold iod page caches (disk-bound misses):\n")
+    trace_text = record_workload()
+    trace = loads(trace_text)
+    print(f"recorded {len(trace)} requests from "
+          f"{len(trace.processes)} processes (JSONL, content hash "
+          f"{trace.content_hash()});")
+    print("replaying the identical stream (original arrival times) under")
+    print("three policies, on a cluster with cold iod page caches:\n")
     replay(
-        csv_text,
+        trace_text,
         "original PVFS (no caching)",
         ClusterConfig(
             compute_nodes=2, iod_nodes=2, caching=False, pagecache_blocks=0
         ),
     )
     replay(
-        csv_text,
+        trace_text,
         "kernel cache module (paper)",
         ClusterConfig(
             compute_nodes=2, iod_nodes=2, caching=True, pagecache_blocks=0
         ),
     )
     replay(
-        csv_text,
+        trace_text,
         "cache module + global cache",
         ClusterConfig(
             compute_nodes=2,
@@ -99,6 +104,17 @@ def main() -> None:
     print("\nSame byte-for-byte request stream each time — the policy")
     print("differences are the whole story.  (The global cache's extra")
     print("win comes from peer hits replacing disk seeks at the iods.)")
+
+    doubled = scale_out(2)(trace)
+    print(f"\nscale_out(2) transform: {len(doubled)} requests from "
+          f"{len(doubled.processes)} processes; replaying on p=4:\n")
+    replay(
+        doubled.dumps(),
+        "2x scaled, cache module",
+        ClusterConfig(
+            compute_nodes=4, iod_nodes=4, caching=True, pagecache_blocks=0
+        ),
+    )
 
 
 if __name__ == "__main__":

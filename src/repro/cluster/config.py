@@ -47,6 +47,14 @@ DISK_MODELS = ("mech", "queued")
 #: built inside parallel sweep workers.
 ENGINE_MACRO_ENV_VAR = "REPRO_ENGINE_MACRO"
 
+#: Environment variable naming a workload trace file (JSONL or CSV
+#: dialect) to replay *instead of* the synthetic micro-benchmark, for
+#: configs whose ``trace_source`` is unset.  Like ``REPRO_NET_MODEL``,
+#: this is how ``--trace`` reaches every ``run_instances`` call,
+#: including inside parallel sweep workers — so the fig4-8 drivers can
+#: all be pointed at one recorded workload.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
 
 @dataclasses.dataclass
 class CostModel:
@@ -214,6 +222,11 @@ class ClusterConfig:
     #: schedule; on trades exact event interleaving inside fully-hit
     #: read bursts for speed.
     engine_macro: bool | None = None
+    #: Path of a workload trace (JSONL or CSV dialect) to replay
+    #: instead of the synthetic benchmark the driver would generate,
+    #: or ``None`` to defer to ``REPRO_TRACE`` falling back to the
+    #: synthetic workload.  See ``repro.workload.runner``.
+    trace_source: str | None = None
     cache: CacheConfig = dataclasses.field(default_factory=CacheConfig)
     costs: CostModel = dataclasses.field(default_factory=CostModel)
 
@@ -276,6 +289,16 @@ class ClusterConfig:
         if self.engine_macro is not None:
             return self.engine_macro
         return os.environ.get(ENGINE_MACRO_ENV_VAR, "") not in ("", "0")
+
+    @property
+    def resolved_trace_source(self) -> str | None:
+        """The trace file to replay, or ``None`` for synthetic runs.
+
+        An explicit ``trace_source`` wins; otherwise a non-empty
+        ``REPRO_TRACE`` chooses, and with neither set drivers generate
+        their synthetic workloads as usual.
+        """
+        return self.trace_source or os.environ.get(TRACE_ENV_VAR) or None
 
     def compute_node_names(self) -> list[str]:
         """Names of the compute nodes."""

@@ -19,6 +19,7 @@ from repro.cluster.config import (
     ENGINE_MACRO_ENV_VAR,
     NET_MODEL_ENV_VAR,
     NET_MODELS,
+    TRACE_ENV_VAR,
 )
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig4 import run_fig4
@@ -215,6 +216,19 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "replay this workload trace (JSONL/CSV, see "
+            "'python -m repro.workload record') instead of each "
+            "experiment's synthetic benchmark — every run_instances "
+            "call, including in sweep workers, replays it closed-loop "
+            "on that point's cluster configuration"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         type=int,
         nargs="?",
@@ -235,6 +249,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         os.environ[DISK_MODEL_ENV_VAR] = args.disk_model
     if args.engine_macro:
         os.environ[ENGINE_MACRO_ENV_VAR] = "1"
+    if args.trace:
+        os.environ[TRACE_ENV_VAR] = args.trace
     if args.profile:
         import cProfile
         import pstats

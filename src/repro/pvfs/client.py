@@ -57,14 +57,72 @@ class PVFSClient:
         self.trace_sink: _t.Callable[..., None] | None = None
         #: Identity reported to the trace sink.
         self.process_name = f"{node.name}/pid{id(self) % 100000}"
+        #: Workload tags carried into recorded trace IR events.
+        self.app = ""
+        self.instance = 0
         self._mgr_ep = None
         self._iod_eps: dict[str, _t.Any] = {}
 
-    def _trace(self, file_id: int, offset: int, nbytes: int, op: str) -> None:
+    def _trace(
+        self,
+        file_id: int,
+        offset: int,
+        nbytes: int,
+        op: str,
+        stride: int = 0,
+        count: int = 1,
+    ) -> None:
+        """Report one data call to the trace sink and, when anyone is
+        listening, to the instrumentation bus.
+
+        ``count > 1`` is a regular strided request: one ``client_io``
+        bus record carries the whole shape, while the legacy per-range
+        sink sees each range separately.  Both reporting paths are
+        synchronous Python off the event schedule, and the bus path is
+        gated on ``record_metrics`` so warmup clients stay out of
+        recorded traces.
+        """
         if self.trace_sink is not None:
-            self.trace_sink(
-                self.env.now, self.process_name, file_id, offset, nbytes, op
+            for i in range(count):
+                self.trace_sink(
+                    self.env.now,
+                    self.process_name,
+                    file_id,
+                    offset + i * stride,
+                    nbytes,
+                    op,
+                )
+        bus = self.env.svc_bus
+        if bus is not None and bus.active and self.record_metrics:
+            bus.emit(
+                "libpvfs",
+                "client_io",
+                node=self.node.name,
+                process=self.process_name,
+                file_id=file_id,
+                offset=offset,
+                nbytes=nbytes,
+                op=op,
+                app=self.app,
+                instance=self.instance,
+                stride=stride,
+                count=count,
             )
+
+    def _trace_ranges(
+        self, file_id: int, ranges: _t.Sequence[tuple[int, int]], op: str
+    ) -> None:
+        """Report a list-I/O call: one strided record when the ranges
+        form a regular stride, else one record per range."""
+        stride, count = _as_strided(ranges)
+        if count:
+            self._trace(
+                file_id, ranges[0][0], ranges[0][1], op,
+                stride=stride, count=count,
+            )
+        else:
+            for offset, nbytes in ranges:
+                self._trace(file_id, offset, nbytes, op)
 
     # -- connections ---------------------------------------------------------
     def _mgr_endpoint(self) -> _t.Generator:
@@ -241,7 +299,7 @@ class PVFSClient:
             raise ValueError(f"data length {len(data)} != nbytes {nbytes}")
         cache = self._cache
         start = self.env.now
-        self._trace(handle.file_id, offset, nbytes, "write")
+        self._trace(handle.file_id, offset, nbytes, "sync_write")
         yield from self.node.compute(self.node.costs.syscall_s)
         if cache is not None:
             yield from cache.sync_write(handle, offset, nbytes, data)
@@ -250,6 +308,116 @@ class PVFSClient:
         if self.record_metrics:
             self.metrics.record("client.sync_write_latency", self.env.now - start)
             self.metrics.inc("client.sync_writes")
+
+    # -- list (noncontiguous) I/O ---------------------------------------------
+    def readv(
+        self,
+        handle: FileHandle,
+        ranges: _t.Sequence[tuple[int, int]],
+        want_data: bool = False,
+    ) -> _t.Generator:
+        """Process body: strided/list read — one call, many ranges.
+
+        The noncontiguous request shape of parallel applications
+        (cf. listio in PVFS): the raw path aggregates every range into
+        one request per iod — the iods' handlers are range-list native
+        — and the cached path serves each range through the cache
+        module (the macro fast path engages per range).  Returns a
+        list of per-range byte strings when ``want_data``.
+        """
+        ranges = self._check_ranges(ranges)
+        cache = self._cache
+        start = self.env.now
+        self._trace_ranges(handle.file_id, ranges, "read")
+        yield from self.node.compute(self.node.costs.syscall_s)
+        parts: list[bytes | None]
+        if cache is not None:
+            parts = []
+            for offset, nbytes in ranges:
+                if cache.engine_macro and nbytes > 0:
+                    result = yield from cache.macro_read(
+                        handle, offset, nbytes, want_data
+                    )
+                    if result is not MACRO_MISS:
+                        parts.append(result)
+                        continue
+                part = yield from cache.read(handle, offset, nbytes, want_data)
+                parts.append(part)
+        else:
+            parts = yield from self._raw_readv(handle, ranges, want_data)
+        if self.record_metrics:
+            self.metrics.record("client.read_latency", self.env.now - start)
+            self.metrics.inc("client.reads")
+            self.metrics.inc("client.list_reads")
+            self.metrics.inc(
+                "client.read_bytes", sum(n for _, n in ranges)
+            )
+        return parts if want_data else None
+
+    def writev(
+        self,
+        handle: FileHandle,
+        ranges: _t.Sequence[tuple[int, int]],
+        data: _t.Sequence[bytes | None] | None = None,
+        sync: bool = False,
+    ) -> _t.Generator:
+        """Process body: strided/list write (``sync`` for coherent).
+
+        ``data``, when given, is one chunk per range.
+        """
+        ranges = self._check_ranges(ranges)
+        if data is not None:
+            if len(data) != len(ranges):
+                raise ValueError(
+                    f"need one chunk per range, got {len(data)} chunks "
+                    f"for {len(ranges)} ranges"
+                )
+            for (_, nbytes), chunk in zip(ranges, data):
+                if chunk is not None and len(chunk) != nbytes:
+                    raise ValueError(
+                        f"chunk length {len(chunk)} != nbytes {nbytes}"
+                    )
+        cache = self._cache
+        start = self.env.now
+        self._trace_ranges(
+            handle.file_id, ranges, "sync_write" if sync else "write"
+        )
+        yield from self.node.compute(self.node.costs.syscall_s)
+        if cache is not None:
+            for i, (offset, nbytes) in enumerate(ranges):
+                chunk = data[i] if data is not None else None
+                if sync:
+                    yield from cache.sync_write(handle, offset, nbytes, chunk)
+                else:
+                    yield from cache.write(handle, offset, nbytes, chunk)
+        else:
+            yield from self._raw_writev(handle, ranges, data, sync)
+        if self.record_metrics:
+            total = sum(n for _, n in ranges)
+            self.metrics.inc("client.list_writes")
+            if sync:
+                self.metrics.record(
+                    "client.sync_write_latency", self.env.now - start
+                )
+                self.metrics.inc("client.sync_writes")
+            else:
+                self.metrics.record(
+                    "client.write_latency", self.env.now - start
+                )
+                self.metrics.inc("client.writes")
+                self.metrics.inc("client.write_bytes", total)
+
+    @staticmethod
+    def _check_ranges(
+        ranges: _t.Sequence[tuple[int, int]],
+    ) -> list[tuple[int, int]]:
+        out = [(int(offset), int(nbytes)) for offset, nbytes in ranges]
+        if not out:
+            raise ValueError("need at least one range")
+        for offset, nbytes in out:
+            if offset < 0 or nbytes < 0:
+                raise ValueError(f"bad range ({offset}, {nbytes})")
+        return out
 
     # -- raw (no-cache) protocol -------------------------------------------------
     def _layout(self, handle: FileHandle) -> StripeLayout:
@@ -339,3 +507,128 @@ class PVFSClient:
             ack = yield endpoint.recv()
             if ack.kind != ack_kind:
                 raise ValueError(f"expected {ack_kind!r}, got {ack.kind!r}")
+
+    def _raw_readv(
+        self,
+        handle: FileHandle,
+        ranges: _t.Sequence[tuple[int, int]],
+        want_data: bool,
+    ) -> _t.Generator:
+        """List read over the wire: ALL ranges aggregated into at most
+        one request per iod (the noncontiguous-I/O win: n ranges cost
+        one round trip per iod, not n)."""
+        layout = self._layout(handle)
+        per_iod: dict[int, list[protocol.Range]] = {}
+        for offset, nbytes in ranges:
+            for idx, rs in layout.split(offset, nbytes).items():
+                per_iod.setdefault(idx, []).extend(rs)
+        endpoints = []
+        for idx, iod_ranges in sorted(per_iod.items()):
+            iod_ranges = coalesce_ranges(iod_ranges)
+            endpoint = yield from self._iod_endpoint(handle.iod_nodes[idx])
+            req = ReadRequest(
+                file_id=handle.file_id,
+                ranges=iod_ranges,
+                want_data=want_data,
+                requester_node=self.node.name,
+            )
+            yield from self.node.compute(self.node.costs.syscall_s)
+            endpoint.send(
+                Message(
+                    kind=protocol.IOD_READ,
+                    size_bytes=req.wire_size(),
+                    payload=req,
+                )
+            )
+            endpoints.append(endpoint)
+        bufs = [bytearray(n) for _, n in ranges] if want_data else None
+        for endpoint in endpoints:
+            ack = yield endpoint.recv()
+            if ack.kind != protocol.IOD_READ_ACK:
+                raise ValueError(f"expected read ack, got {ack.kind!r}")
+            data_msg = yield endpoint.recv()
+            if data_msg.kind != protocol.IOD_DATA:
+                raise ValueError(f"expected data, got {data_msg.kind!r}")
+            payload: ReadData = data_msg.payload
+            if bufs is None:
+                continue
+            for (roff, rlen), chunk in zip(payload.ranges, payload.chunks):
+                if chunk is None:
+                    continue
+                # A coalesced wire range may span several of the
+                # caller's ranges; copy each overlap back out.
+                for buf, (coff, cn) in zip(bufs, ranges):
+                    lo = max(roff, coff)
+                    hi = min(roff + rlen, coff + cn)
+                    if lo < hi:
+                        buf[lo - coff : hi - coff] = chunk[
+                            lo - roff : hi - roff
+                        ]
+        if bufs is None:
+            return [None] * len(ranges)
+        return [bytes(b) for b in bufs]
+
+    def _raw_writev(
+        self,
+        handle: FileHandle,
+        ranges: _t.Sequence[tuple[int, int]],
+        data: _t.Sequence[bytes | None] | None,
+        sync: bool,
+    ) -> _t.Generator:
+        """List write over the wire: one request per iod carrying
+        every range (and chunk) that lands on it."""
+        layout = self._layout(handle)
+        per_iod: dict[
+            int, list[tuple[protocol.Range, bytes | None]]
+        ] = {}
+        for i, (offset, nbytes) in enumerate(ranges):
+            chunk = data[i] if data is not None else None
+            for idx, rs in layout.split(offset, nbytes).items():
+                for roff, rlen in rs:
+                    piece = (
+                        chunk[roff - offset : roff - offset + rlen]
+                        if chunk is not None
+                        else None
+                    )
+                    per_iod.setdefault(idx, []).append(((roff, rlen), piece))
+        kind = protocol.IOD_SYNC_WRITE if sync else protocol.IOD_WRITE
+        ack_kind = protocol.IOD_SYNC_ACK if sync else protocol.IOD_WRITE_ACK
+        endpoints = []
+        for idx, entries in sorted(per_iod.items()):
+            entries.sort(key=lambda entry: entry[0])
+            endpoint = yield from self._iod_endpoint(handle.iod_nodes[idx])
+            req = WriteRequest(
+                file_id=handle.file_id,
+                ranges=[r for r, _ in entries],
+                chunks=[c for _, c in entries],
+                sync=sync,
+                requester_node=self.node.name,
+            )
+            yield from self.node.compute(self.node.costs.syscall_s)
+            endpoint.send(
+                Message(kind=kind, size_bytes=req.wire_size(), payload=req)
+            )
+            endpoints.append(endpoint)
+        for endpoint in endpoints:
+            ack = yield endpoint.recv()
+            if ack.kind != ack_kind:
+                raise ValueError(f"expected {ack_kind!r}, got {ack.kind!r}")
+
+
+def _as_strided(
+    ranges: _t.Sequence[tuple[int, int]],
+) -> tuple[int, int]:
+    """``(stride, count)`` when ``ranges`` is a regular non-overlapping
+    stride of equal-size requests, else ``(0, 0)``."""
+    if len(ranges) < 2:
+        return 0, 0
+    nbytes = ranges[0][1]
+    stride = ranges[1][0] - ranges[0][0]
+    if stride < nbytes or nbytes <= 0:
+        return 0, 0
+    if any(n != nbytes for _, n in ranges):
+        return 0, 0
+    for (a, _), (b, _) in zip(ranges, ranges[1:]):
+        if b - a != stride:
+            return 0, 0
+    return stride, len(ranges)

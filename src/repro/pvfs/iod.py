@@ -93,6 +93,8 @@ class Iod(Service):
         ]
         data = ReadData(file_id=req.file_id, ranges=list(req.ranges), chunks=chunks)
         self.metrics.inc("iod.reads")
+        if len(req.ranges) > 1:
+            self.metrics.inc("iod.list_requests")
         self.metrics.inc("iod.read_bytes", req.total_bytes)
         yield endpoint.send(
             msg.reply(protocol.IOD_DATA, data.total_bytes, payload=data)
@@ -103,6 +105,8 @@ class Iod(Service):
         req: WriteRequest = msg.payload
         yield from self._write_ranges(req.file_id, req.ranges, req.chunks)
         self.metrics.inc("iod.writes")
+        if len(req.ranges) > 1:
+            self.metrics.inc("iod.list_requests")
         self.metrics.inc("iod.write_bytes", req.total_bytes)
         yield endpoint.send(
             msg.reply(protocol.IOD_WRITE_ACK, protocol.ACK_BYTES)
@@ -114,6 +118,8 @@ class Iod(Service):
         yield from self._write_ranges(req.file_id, req.ranges, req.chunks)
         yield from self._invalidate_sharers(req)
         self.metrics.inc("iod.sync_writes")
+        if len(req.ranges) > 1:
+            self.metrics.inc("iod.list_requests")
         self.metrics.inc("iod.write_bytes", req.total_bytes)
         yield endpoint.send(
             msg.reply(protocol.IOD_SYNC_ACK, protocol.ACK_BYTES)

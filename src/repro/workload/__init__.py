@@ -1,18 +1,41 @@
-"""The paper's customizable micro-benchmark (Section 4.1).
+"""Workloads: the micro-benchmark, applications, and the trace IR.
 
-A parallel application whose processes issue read/write requests of
-size ``d`` against shared/private files, with a tunable degree of
-locality ``l`` (target cache-hit ratio), degree of data sharing ``s``
-across application instances, and the node set ``p`` it is
-parallelized over.  Running several instances on the same nodes
-produces the multiprogrammed workloads of Sections 4.2.3/4.2.4.
+Two ways to drive the simulated cluster:
+
+* **Synthetic generators** — the paper's customizable micro-benchmark
+  (Section 4.1; ``d``/``p``/``l``/``s`` knobs) and the application mixes
+  of :mod:`repro.workload.apps`.
+* **The trace IR** — any run can be *recorded* into a serializable,
+  versioned :class:`Trace` (:mod:`repro.workload.record`),
+  *transformed* into scenario families
+  (:mod:`repro.workload.transform`), *replayed* deterministically
+  against any configuration (:mod:`repro.workload.replay`), and
+  external traces can be *imported* from JSONL/CSV with validation and
+  sharing classification on ingest.
 """
 
-from repro.workload.classify import SharingClassifier, TraceCollector
+from repro.workload.classify import (
+    SharingClassifier,
+    TraceCollector,
+    classify_trace,
+)
 from repro.workload.microbench import MicroBenchmark, MicroBenchParams
 from repro.workload.pattern import AccessPattern
+from repro.workload.record import TraceRecorder
+from repro.workload.replay import (
+    TraceReplayer,
+    record_microbench_trace,
+    replay_trace_hash,
+)
 from repro.workload.runner import InstanceResult, RunOutcome, run_instances
-from repro.workload.trace import TraceRecorder, TraceReplayer
+from repro.workload.trace import (
+    Trace,
+    TraceEvent,
+    TraceFormatError,
+    load_trace,
+    loads_trace,
+    validate_trace,
+)
 
 __all__ = [
     "AccessPattern",
@@ -21,8 +44,17 @@ __all__ = [
     "MicroBenchParams",
     "RunOutcome",
     "SharingClassifier",
+    "Trace",
     "TraceCollector",
+    "TraceEvent",
+    "TraceFormatError",
     "TraceRecorder",
     "TraceReplayer",
+    "classify_trace",
+    "load_trace",
+    "loads_trace",
+    "record_microbench_trace",
+    "replay_trace_hash",
     "run_instances",
+    "validate_trace",
 ]

@@ -1,20 +1,20 @@
-"""Command-line micro-benchmark, mirroring the paper's Section 4.1.
+"""Workload CLI: the paper's micro-benchmark plus the trace IR tools.
 
-"At the high level, this benchmark is a parallel application in which
-multiple processors execute read/write requests of specified sizes on
-shared (or private) file(s) at different offsets.  The command line
-parameters include the size of the file, the size of each I/O request
-(denoted d), the number of nodes over which the application is
-parallelized (p), and a variable indicating whether read or write is
-to be performed. [...] Another parameter, the degree of locality
-(denoted l) [...] the user can also specify the desired degree of data
-sharing between applications (denoted s)."
-
-Examples::
+Bare flags run the Section 4.1 micro-benchmark, exactly as before::
 
     python -m repro.workload --d 65536 --p 4 --mode read --l 0.5
     python -m repro.workload --d 4096 --p 2 --instances 2 --s 0.75
-    python -m repro.workload --d 262144 --mode write --no-caching
+
+Subcommands operate on the trace IR (mirroring the
+``repro.experiments`` CLI conventions)::
+
+    python -m repro.workload record --out run.jsonl --d 4096 --p 2
+    python -m repro.workload replay --trace run.jsonl --p 4 --hash
+    python -m repro.workload transform --trace run.jsonl --out big.jsonl \\
+        --scale-out 2 --remix-sharing 0.5
+    python -m repro.workload validate --trace big.jsonl
+
+Each subcommand has ``--help``.
 """
 
 from __future__ import annotations
@@ -27,27 +27,13 @@ from repro.cluster.config import CacheConfig, ClusterConfig, CostModel
 from repro.workload.microbench import MicroBenchParams
 from repro.workload.runner import run_instances
 
+SUBCOMMANDS = ("record", "replay", "transform", "validate")
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.workload",
-        description="Run the paper's customizable micro-benchmark on a "
-        "simulated PVFS cluster.",
-    )
-    parser.add_argument("--d", "--request-size", dest="d", type=int,
-                        default=65536, help="request size in bytes")
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    """Flags that size and configure the simulated cluster."""
     parser.add_argument("--p", dest="p", type=int, default=4,
                         help="nodes the application is parallelized over")
-    parser.add_argument("--mode", choices=("read", "write", "sync-write"),
-                        default="read")
-    parser.add_argument("--iterations", type=int, default=32,
-                        help="I/O requests per process")
-    parser.add_argument("--l", "--locality", dest="l", type=float,
-                        default=0.0, help="degree of locality in [0,1]")
-    parser.add_argument("--s", "--sharing", dest="s", type=float,
-                        default=0.0, help="degree of data sharing in [0,1]")
-    parser.add_argument("--instances", type=int, default=1,
-                        help="application instances (multiprogramming)")
     parser.add_argument("--no-caching", action="store_true",
                         help="run the original PVFS without the cache module")
     parser.add_argument("--cache-size", type=int, default=1_200 * 1024,
@@ -58,38 +44,65 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable the cooperative global cache")
     parser.add_argument("--readahead", action="store_true",
                         help="enable sequential prefetching")
-    parser.add_argument("--warmup", action="store_true",
-                        help="warm the iod page caches before timing")
-    parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument("--config", type=str, default=None, metavar="FILE",
                         help="JSON cluster config (overrides --p, "
                         "--cache-size, --fabric, extension flags)")
+
+
+def _add_micro_args(parser: argparse.ArgumentParser) -> None:
+    """Flags describing the micro-benchmark workload itself."""
+    parser.add_argument("--d", "--request-size", dest="d", type=int,
+                        default=65536, help="request size in bytes")
+    parser.add_argument("--mode", choices=("read", "write", "sync-write"),
+                        default="read")
+    parser.add_argument("--iterations", type=int, default=32,
+                        help="I/O requests per process")
+    parser.add_argument("--l", "--locality", dest="l", type=float,
+                        default=0.0, help="degree of locality in [0,1]")
+    parser.add_argument("--s", "--sharing", dest="s", type=float,
+                        default=0.0, help="degree of data sharing in [0,1]")
+    parser.add_argument("--instances", type=int, default=1,
+                        help="application instances (multiprogramming)")
+    parser.add_argument("--warmup", action="store_true",
+                        help="warm the iod page caches before timing")
+    parser.add_argument("--seed", type=int, default=1234)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload",
+        description="Run the paper's customizable micro-benchmark on a "
+        "simulated PVFS cluster (see also the record/replay/transform/"
+        "validate trace subcommands).",
+    )
+    _add_micro_args(parser)
+    _add_cluster_args(parser)
     return parser
 
 
-def main(argv: _t.Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.p < 1 or args.instances < 1:
-        print("error: --p and --instances must be >= 1", file=sys.stderr)
-        return 2
+def _build_config(args: argparse.Namespace) -> ClusterConfig:
     if args.config:
         from repro.cluster.configio import load_config
 
         with open(args.config) as fp:
-            config = load_config(fp)
-    else:
-        config = ClusterConfig(
-            compute_nodes=args.p,
-            iod_nodes=args.p,
-            caching=not args.no_caching,
-            cache=CacheConfig(
-                size_bytes=args.cache_size,
-                global_cache=args.global_cache,
-                readahead=args.readahead,
-            ),
-            costs=CostModel(fabric=args.fabric),
-        )
-    instances = [
+            return load_config(fp)
+    return ClusterConfig(
+        compute_nodes=args.p,
+        iod_nodes=args.p,
+        caching=not args.no_caching,
+        cache=CacheConfig(
+            size_bytes=args.cache_size,
+            global_cache=args.global_cache,
+            readahead=args.readahead,
+        ),
+        costs=CostModel(fabric=args.fabric),
+    )
+
+
+def _build_instances(
+    args: argparse.Namespace, config: ClusterConfig
+) -> list[MicroBenchParams]:
+    return [
         MicroBenchParams(
             nodes=config.compute_node_names(),
             request_size=args.d,
@@ -103,7 +116,213 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         )
         for i in range(args.instances)
     ]
-    outcome = run_instances(config, instances)
+
+
+def _load_trace_arg(path: str):
+    from repro.workload.trace import load, load_path
+
+    if path == "-":
+        return load(sys.stdin)
+    return load_path(path)
+
+
+def _write_text(path: str, text: str) -> None:
+    if path == "-":
+        sys.stdout.write(text)
+        return
+    with open(path, "w") as fp:
+        fp.write(text)
+
+
+# -- subcommands -----------------------------------------------------------
+def _cmd_record(argv: _t.Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload record",
+        description="Run the micro-benchmark and record its request "
+        "stream as a versioned JSONL trace.",
+    )
+    parser.add_argument("--out", type=str, default="-", metavar="FILE",
+                        help="trace output path ('-' = stdout)")
+    _add_micro_args(parser)
+    _add_cluster_args(parser)
+    args = parser.parse_args(argv)
+    if args.p < 1 or args.instances < 1:
+        print("error: --p and --instances must be >= 1", file=sys.stderr)
+        return 2
+    config = _build_config(args)
+    outcome = run_instances(config, _build_instances(args, config), record=True)
+    assert outcome.trace is not None
+    _write_text(args.out, outcome.trace.dumps())
+    print(
+        f"recorded {len(outcome.trace)} events from "
+        f"{len(outcome.trace.processes)} processes "
+        f"(content hash {outcome.trace.content_hash()})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_replay(argv: _t.Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload replay",
+        description="Replay a recorded/imported trace against a "
+        "(possibly different) cluster configuration.",
+    )
+    parser.add_argument("--trace", type=str, required=True, metavar="FILE",
+                        help="trace to replay (JSONL or CSV, '-' = stdin)")
+    parser.add_argument("--open-loop", action="store_true",
+                        help="preserve the trace's original request "
+                        "timing (default: closed loop, think times only)")
+    parser.add_argument("--hash", action="store_true",
+                        help="print the replay's BLAKE2b schedule hash")
+    _add_cluster_args(parser)
+    args = parser.parse_args(argv)
+    if args.p < 1:
+        print("error: --p must be >= 1", file=sys.stderr)
+        return 2
+    from repro.cluster.cluster import Cluster
+    from repro.workload.replay import TraceReplayer
+
+    trace = _load_trace_arg(args.trace)
+    cluster = Cluster(_build_config(args))
+    if args.hash:
+        cluster.env.enable_trace_hash()
+    replayer = TraceReplayer(
+        cluster, trace, preserve_timing=args.open_loop
+    )
+    makespan = replayer.run()
+    print(f"replayed {len(trace)} events "
+          f"({'open' if args.open_loop else 'closed'} loop)")
+    print(f"  makespan             : {makespan:.6f} s")
+    for process in sorted(replayer.completion):
+        print(f"  {process:<20} : {replayer.completion[process]:.6f} s")
+    hits = cluster.metrics.count("cache.hits")
+    misses = cluster.metrics.count("cache.misses")
+    if hits + misses:
+        print(f"  cache hits/misses    : {hits}/{misses}  "
+              f"(hit ratio {hits / (hits + misses):.2%})")
+    if args.hash:
+        print(f"  schedule trace hash  : {cluster.env.trace_hash()}")
+    return 0
+
+
+def _cmd_transform(argv: _t.Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload transform",
+        description="Apply composable trace->trace passes.  Passes run "
+        "in a fixed order: --remap, --time-scale, --scale-out, "
+        "--remix-sharing, --zipf.",
+    )
+    parser.add_argument("--trace", type=str, required=True, metavar="FILE",
+                        help="input trace (JSONL or CSV, '-' = stdin)")
+    parser.add_argument("--out", type=str, default="-", metavar="FILE",
+                        help="output trace path ('-' = stdout)")
+    parser.add_argument("--remap", action="append", default=[],
+                        metavar="OLD=NEW",
+                        help="rename process OLD to NEW (repeatable)")
+    parser.add_argument("--time-scale", type=float, default=None,
+                        metavar="F", help="scale timestamps/think times by F")
+    parser.add_argument("--scale-out", type=int, default=None, metavar="N",
+                        help="clone every process stream N-fold")
+    parser.add_argument("--remix-sharing", type=float, default=None,
+                        metavar="S",
+                        help="re-mix the degree of sharing to S in [0,1]")
+    parser.add_argument("--zipf", type=float, default=None, metavar="ALPHA",
+                        help="re-skew path popularity to Zipf(ALPHA)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the randomized passes")
+    args = parser.parse_args(argv)
+    from repro.workload import transform as tr
+
+    passes: list[tr.Transform] = []
+    if args.remap:
+        mapping = {}
+        for spec in args.remap:
+            old, sep, new = spec.partition("=")
+            if not sep or not old or not new:
+                print(f"error: --remap wants OLD=NEW, got {spec!r}",
+                      file=sys.stderr)
+                return 2
+            mapping[old] = new
+        passes.append(tr.process_remap(mapping))
+    if args.time_scale is not None:
+        passes.append(tr.time_scale(args.time_scale))
+    if args.scale_out is not None:
+        passes.append(tr.scale_out(args.scale_out))
+    if args.remix_sharing is not None:
+        passes.append(tr.remix_sharing(args.remix_sharing, seed=args.seed))
+    if args.zipf is not None:
+        passes.append(tr.zipf_reskew(args.zipf, seed=args.seed))
+    if not passes:
+        print("error: no transform given (see --help)", file=sys.stderr)
+        return 2
+    trace = tr.compose(*passes)(_load_trace_arg(args.trace))
+    _write_text(args.out, trace.dumps())
+    applied = trace.meta.get("transforms", [])
+    print(
+        f"transformed: {len(trace)} events, "
+        f"{len(trace.processes)} processes; passes: {applied}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_validate(argv: _t.Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload validate",
+        description="Validate a trace file and classify its sharing "
+        "patterns (the import ingest check).  Exit status 1 when "
+        "issues are found.",
+    )
+    parser.add_argument("--trace", type=str, required=True, metavar="FILE",
+                        help="trace to validate (JSONL or CSV, '-' = stdin)")
+    args = parser.parse_args(argv)
+    from repro.workload.classify import classify_trace
+    from repro.workload.trace import TraceFormatError, validate_trace
+
+    try:
+        trace = _load_trace_arg(args.trace)
+    except TraceFormatError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    ops = trace.op_counts()
+    span = (
+        trace.events[-1].time - trace.events[0].time if trace.events else 0.0
+    )
+    print(f"trace: {len(trace)} events, {len(trace.processes)} processes, "
+          f"{len(trace.paths)} paths, span {span:.6f} s")
+    print(f"  ops                  : " +
+          "  ".join(f"{op}={n}" for op, n in ops.items()))
+    strided = sum(1 for e in trace.events if e.is_list)
+    if strided:
+        print(f"  strided/list events  : {strided}")
+    print(f"  content hash         : {trace.content_hash()}")
+    if trace.meta:
+        print(f"  meta                 : {trace.meta}")
+    for path, pattern in classify_trace(trace).items():
+        print(f"  {path:<20} : {pattern}")
+    issues = validate_trace(trace)
+    for issue in issues:
+        print(f"  ISSUE: {issue}", file=sys.stderr)
+    return 1 if issues else 0
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        handler = {
+            "record": _cmd_record,
+            "replay": _cmd_replay,
+            "transform": _cmd_transform,
+            "validate": _cmd_validate,
+        }[argv[0]]
+        return handler(argv[1:])
+    args = build_parser().parse_args(argv)
+    if args.p < 1 or args.instances < 1:
+        print("error: --p and --instances must be >= 1", file=sys.stderr)
+        return 2
+    config = _build_config(args)
+    outcome = run_instances(config, _build_instances(args, config))
 
     version = "caching" if config.caching else "no caching"
     print(f"micro-benchmark ({version} version)")

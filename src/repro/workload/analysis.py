@@ -89,21 +89,25 @@ def working_set_size(accesses: _t.Iterable[BlockId]) -> int:
 def events_to_blocks(
     events: _t.Sequence[TraceEvent],
     block_size: int = 4096,
-    ops: _t.Container[str] = ("read", "write", "sync-write"),
+    ops: _t.Container[str] = ("read", "write", "sync_write"),
 ) -> list[tuple[str, int]]:
     """Expand trace events into per-block accesses (trace order).
 
-    Returns ``(path, block_no)`` tuples so blocks of different files
-    never alias.
+    Strided/list events contribute every range they touch.  Returns
+    ``(path, block_no)`` tuples so blocks of different files never
+    alias.
     """
     out: list[tuple[str, int]] = []
     for event in sorted(events, key=lambda e: e.time):
-        if event.op not in ops or event.nbytes <= 0:
+        if event.op not in ops:
             continue
-        first = event.offset // block_size
-        last = (event.offset + event.nbytes - 1) // block_size
-        for block_no in range(first, last + 1):
-            out.append((event.path, block_no))
+        for offset, nbytes in event.ranges:
+            if nbytes <= 0:
+                continue
+            first = offset // block_size
+            last = (offset + nbytes - 1) // block_size
+            for block_no in range(first, last + 1):
+                out.append((event.path, block_no))
     return out
 
 

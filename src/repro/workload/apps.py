@@ -47,6 +47,7 @@ class BaseApp:
         self.name = name or type(self).__name__
         self.client = cluster.client(node)
         self.client.process_name = f"{self.name}@{node}"
+        self.client.app = self.name
         self.requests = 0
         self.result: AppResult | None = None
 
@@ -169,7 +170,13 @@ class AssociationMiningScan(BaseApp):
 
 class VideoFrameExtractor(BaseApp):
     """Video processing: strided reads (every k-th frame) of a large
-    stream — the spatial-locality-without-reuse pattern."""
+    stream — the spatial-locality-without-reuse pattern.
+
+    With ``batch_frames > 1`` the extractor issues each batch as one
+    strided list-I/O request (``readv``) instead of per-frame reads —
+    the noncontiguous request shape that traces record as a single
+    ``count > 1`` event.
+    """
 
     signature = "disjoint"
 
@@ -183,6 +190,7 @@ class VideoFrameExtractor(BaseApp):
         stride: int = 2,
         offset_frames: int = 0,
         decode_s: float = 8e-4,
+        batch_frames: int = 1,
         name: str | None = None,
     ) -> None:
         super().__init__(cluster, node, name)
@@ -192,17 +200,34 @@ class VideoFrameExtractor(BaseApp):
         self.stride = stride
         self.offset_frames = offset_frames
         self.decode_s = decode_s
+        if batch_frames < 1:
+            raise ValueError("batch_frames must be >= 1")
+        self.batch_frames = batch_frames
 
     def run(self) -> _t.Generator:
         """Strided frame reads with per-frame decode."""
         handle = yield from self.client.open(self.stream)
         frame = self.offset_frames
-        for _ in range(self.frames):
-            yield from self._read(
-                handle, frame * self.frame_bytes, self.frame_bytes
-            )
-            yield from self._compute(self.decode_s)
-            frame += self.stride
+        remaining = self.frames
+        while remaining > 0:
+            batch = min(self.batch_frames, remaining)
+            if batch > 1:
+                self.requests += 1
+                yield from self.client.readv(
+                    handle,
+                    [
+                        ((frame + k * self.stride) * self.frame_bytes,
+                         self.frame_bytes)
+                        for k in range(batch)
+                    ],
+                )
+            else:
+                yield from self._read(
+                    handle, frame * self.frame_bytes, self.frame_bytes
+                )
+            yield from self._compute(self.decode_s * batch)
+            frame += self.stride * batch
+            remaining -= batch
 
 
 class ArchiveMaintainer(BaseApp):

@@ -195,6 +195,10 @@ class TraceCollector:
     ) -> None:
         if nbytes <= 0:
             return
+        # Coherent writes are still writes to the classifier; accept
+        # the canonical IR spelling and the deprecated legacy one.
+        if op in ("sync_write", "sync-write"):
+            op = "write"
         first = offset // self.block_size
         last = (offset + nbytes - 1) // self.block_size
         for block_no in range(first, last + 1):
@@ -207,3 +211,40 @@ class TraceCollector:
                     op=op,
                 )
             )
+
+
+def classify_trace(
+    trace: _t.Any, block_size: int = 4096
+) -> dict[str, str]:
+    """Classify every path of a trace IR; returns path -> pattern.
+
+    The importer's ingest check: feed a parsed
+    :class:`~repro.workload.trace.Trace` (or any iterable of
+    :class:`~repro.workload.trace.TraceEvent`) through the
+    streaming classifier, expanding strided events range by range.
+    """
+    classifier = SharingClassifier()
+    events = sorted(trace, key=lambda e: e.time)
+    path_ids: dict[str, int] = {}
+    for event in events:
+        file_id = path_ids.setdefault(event.path, len(path_ids))
+        op = "write" if event.op in ("write", "sync_write") else "read"
+        for offset, nbytes in event.ranges:
+            if nbytes <= 0:
+                continue
+            first = offset // block_size
+            last = (offset + nbytes - 1) // block_size
+            for block_no in range(first, last + 1):
+                classifier.record(
+                    AccessRecord(
+                        time=event.time,
+                        process=event.process,
+                        file_id=file_id,
+                        block_no=block_no,
+                        op=op,
+                    )
+                )
+    return {
+        path: classifier.classify(file_id)
+        for path, file_id in sorted(path_ids.items())
+    }

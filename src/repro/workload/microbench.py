@@ -109,6 +109,11 @@ class MicroBenchmark:
     ) -> _t.Generator:
         params = self.params
         client = cluster.client(node)
+        # Stable identity (not the id()-derived default) so recorded
+        # traces name ranks deterministically across runs.
+        client.process_name = f"mb-i{params.instance}-r{rank}@{node}"
+        client.app = "microbench"
+        client.instance = params.instance
         shared = yield from client.open(params.shared_path)
         private = yield from client.open(params.private_path)
         handles = {"shared": shared, "private": private}

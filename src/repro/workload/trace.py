@@ -1,206 +1,523 @@
-"""Request-trace recording and replay.
+"""The workload trace IR: a serializable, versioned request-stream format.
 
 The paper closes by noting "there is a lack of benchmarks containing
 groups of applications sharing data".  Traces are the practical
-substitute: record the request stream of any simulated run (or import
-a CSV from elsewhere), then replay it against different cluster
-configurations — caching on/off, different cache sizes, different
-placements — to compare policies on *identical* workloads.
+substitute, and this module makes them a first-class currency for the
+whole stack: every driver can *record* its request stream
+(:mod:`repro.workload.record`), *replay* it deterministically against
+a different cluster configuration (:mod:`repro.workload.replay`),
+*transform* it into a family of scenarios
+(:mod:`repro.workload.transform`), and *import* traces measured on
+external systems.
 
-CSV schema (one request per line)::
+Event model
+-----------
 
-    time,process,path,op,offset,nbytes
+A :class:`TraceEvent` is one I/O request: ``(time, process, path, op,
+offset, nbytes)`` plus workload tags (``app``, ``instance``), an
+optional closed-loop think time (``think_s``), and a strided/list-I/O
+shape (``stride``, ``count``) after the noncontiguous request patterns
+of parallel applications (cf. arXiv:cs/0207096): a request with
+``count > 1`` touches ``count`` ranges of ``nbytes`` each, spaced
+``stride`` bytes apart.  ``count == 1`` is the ordinary contiguous
+request.
+
+The canonical op spelling is ``sync_write`` — the spelling the metrics
+(``client.sync_writes``), classifier, and docs already use.  The
+legacy trace spelling ``sync-write`` is accepted on import as a
+deprecated alias and canonicalized.
+
+Serialization
+-------------
+
+The native format is versioned JSONL: a header object followed by one
+JSON object per event::
+
+    {"format": "repro-trace", "version": 2, "events": 2, "meta": {}}
+    {"time": 0.0, "process": "app-a", "path": "/shared", "op": "read",
+     "offset": 0, "nbytes": 4096}
+    {"time": 0.001, "process": "app-a", "path": "/shared", "op": "read",
+     "offset": 65536, "nbytes": 4096, "stride": 16384, "count": 4}
+
+Event fields at their defaults are omitted.  The header's ``events``
+count makes truncation detectable.  The older CSV schema
+(``time,process,path,op,offset,nbytes``) is retained as the *version-1
+import dialect*; it cannot carry tags or strided shapes.
 """
 
 from __future__ import annotations
 
 import csv
 import dataclasses
+import hashlib
 import io
+import json
+import math
 import typing as _t
+import warnings
 
-from repro.cluster.cluster import Cluster
-from repro.pvfs.client import PVFSClient
-from repro.sim import Process
+#: Format marker in the JSONL header line.
+TRACE_FORMAT = "repro-trace"
+
+#: Current trace IR version.  Version 1 is the legacy CSV dialect.
+TRACE_VERSION = 2
+
+#: Canonical operation names of the IR.
+CANONICAL_OPS = ("read", "write", "sync_write")
+
+#: Deprecated spellings accepted on import and canonicalized.
+LEGACY_OP_ALIASES = {"sync-write": "sync_write"}
+
+#: CSV dialect column order (the version-1 schema).
+CSV_COLUMNS = ("time", "process", "path", "op", "offset", "nbytes")
+
+
+class TraceFormatError(ValueError):
+    """A trace file or event failed validation."""
+
+
+def canonical_op(op: str) -> str:
+    """Canonicalize an op spelling (legacy aliases map to canonical).
+
+    Raises :class:`TraceFormatError` for unknown ops.
+    """
+    op = LEGACY_OP_ALIASES.get(op, op)
+    if op not in CANONICAL_OPS:
+        raise TraceFormatError(
+            f"unknown op {op!r}; canonical ops are {CANONICAL_OPS}"
+        )
+    return op
 
 
 @dataclasses.dataclass(frozen=True)
 class TraceEvent:
+    """One I/O request of a workload trace."""
+
     time: float
     process: str
     path: str
-    op: str  # "read" | "write" | "sync-write"
+    op: str  # one of CANONICAL_OPS ("sync-write" canonicalized)
     offset: int
     nbytes: int
+    #: Application tag (e.g. "microbench", "miner") — which program
+    #: issued the request.
+    app: str = ""
+    #: Application-instance id (multiprogrammed workloads).
+    instance: int = 0
+    #: Closed-loop think time before issuing the request; honored by
+    #: the replayer when original arrival times are not preserved.
+    think_s: float = 0.0
+    #: Strided/list-I/O shape: ``count`` ranges of ``nbytes`` each,
+    #: range *i* starting at ``offset + i * stride``.  ``count == 1``
+    #: is a plain contiguous request (``stride`` ignored).
+    stride: int = 0
+    count: int = 1
 
     def __post_init__(self) -> None:
-        if self.op not in ("read", "write", "sync-write"):
-            raise ValueError(f"unknown op {self.op!r}")
+        object.__setattr__(self, "op", canonical_op(self.op))
+        if not math.isfinite(self.time):
+            raise TraceFormatError(f"non-finite event time {self.time!r}")
         if self.offset < 0 or self.nbytes < 0:
-            raise ValueError(
+            raise TraceFormatError(
                 f"bad geometry offset={self.offset} nbytes={self.nbytes}"
             )
-
-
-class TraceRecorder:
-    """Collects every data call made through registered clients."""
-
-    def __init__(self, cluster: Cluster) -> None:
-        self.cluster = cluster
-        self.events: list[TraceEvent] = []
-
-    def attach(self, client: PVFSClient, process_name: str | None = None):
-        """Hook a client's trace sink; returns the client for chaining."""
-        if process_name is not None:
-            client.process_name = process_name
-
-        def sink(time, process, file_id, offset, nbytes, op):
-            path = self._path_of(file_id)
-            self.events.append(
-                TraceEvent(
-                    time=time,
-                    process=process,
-                    path=path,
-                    # the client reports sync_write as "write"; the
-                    # distinction is not observable at the block level,
-                    # so replay re-issues plain writes.
-                    op=op,
-                    offset=offset,
-                    nbytes=nbytes,
-                )
+        if self.think_s < 0:
+            raise TraceFormatError(f"negative think_s {self.think_s}")
+        if self.count < 1:
+            raise TraceFormatError(f"count must be >= 1, got {self.count}")
+        if self.count > 1 and self.stride < self.nbytes:
+            raise TraceFormatError(
+                f"strided event needs stride >= nbytes, got "
+                f"stride={self.stride} nbytes={self.nbytes}"
             )
 
-        client.trace_sink = sink
-        return client
+    # -- shape ------------------------------------------------------------
+    @property
+    def is_list(self) -> bool:
+        """True for strided/list-I/O requests (count > 1)."""
+        return self.count > 1
 
-    def _path_of(self, file_id: int) -> str:
-        for path, handle in self.cluster.mgr._by_path.items():
-            if handle.file_id == file_id:
-                return path
-        return f"<file:{file_id}>"
+    @property
+    def ranges(self) -> list[tuple[int, int]]:
+        """The (offset, nbytes) ranges the request touches."""
+        return [
+            (self.offset + i * self.stride, self.nbytes)
+            for i in range(self.count)
+        ]
 
-    # -- serialisation ------------------------------------------------------
-    def to_csv(self, fp: _t.TextIO) -> int:
-        """Write the trace as CSV; returns event count."""
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes across all ranges."""
+        return self.nbytes * self.count
+
+    @property
+    def end_offset(self) -> int:
+        """One past the last byte the request touches."""
+        if self.count == 1:
+            return self.offset + self.nbytes
+        return self.offset + (self.count - 1) * self.stride + self.nbytes
+
+    # -- serialization ---------------------------------------------------
+    def to_json(self) -> dict[str, _t.Any]:
+        """The event as a JSON-ready dict (defaults omitted)."""
+        obj: dict[str, _t.Any] = {
+            "time": self.time,
+            "process": self.process,
+            "path": self.path,
+            "op": self.op,
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+        }
+        if self.app:
+            obj["app"] = self.app
+        if self.instance:
+            obj["instance"] = self.instance
+        if self.think_s:
+            obj["think_s"] = self.think_s
+        if self.count > 1:
+            obj["stride"] = self.stride
+            obj["count"] = self.count
+        return obj
+
+    @classmethod
+    def from_json(cls, obj: _t.Any, line_no: int | None = None) -> "TraceEvent":
+        """Parse one event object (strict on required fields/types)."""
+        where = f" (line {line_no})" if line_no is not None else ""
+        if not isinstance(obj, dict):
+            raise TraceFormatError(f"event is not an object{where}: {obj!r}")
+        missing = [k for k in ("time", "process", "path", "op", "offset", "nbytes")
+                   if k not in obj]
+        if missing:
+            raise TraceFormatError(f"event missing fields {missing}{where}")
+        try:
+            return cls(
+                time=float(obj["time"]),
+                process=str(obj["process"]),
+                path=str(obj["path"]),
+                op=str(obj["op"]),
+                offset=int(obj["offset"]),
+                nbytes=int(obj["nbytes"]),
+                app=str(obj.get("app", "")),
+                instance=int(obj.get("instance", 0)),
+                think_s=float(obj.get("think_s", 0.0)),
+                stride=int(obj.get("stride", 0)),
+                count=int(obj.get("count", 1)),
+            )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, TraceFormatError):
+                raise TraceFormatError(f"{exc}{where}") from exc
+            raise TraceFormatError(f"malformed event{where}: {exc}") from exc
+
+
+def _sort_key(event: TraceEvent) -> tuple[float, str, int]:
+    # Total order so a trace's canonical event order (and hence its
+    # content hash and replay schedule) never depends on input order.
+    return (event.time, event.process, event.offset)
+
+
+@dataclasses.dataclass
+class Trace:
+    """An ordered, versioned collection of trace events plus metadata.
+
+    ``meta`` carries free-form provenance (source, seed, config
+    snapshot, applied transforms); it rides along through
+    serialization and transforms.
+    """
+
+    events: list[TraceEvent] = dataclasses.field(default_factory=list)
+    meta: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+    version: int = TRACE_VERSION
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=_sort_key)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> _t.Iterator[TraceEvent]:
+        return iter(self.events)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def processes(self) -> list[str]:
+        """Distinct process names, sorted."""
+        return sorted({e.process for e in self.events})
+
+    @property
+    def paths(self) -> list[str]:
+        """Distinct file paths, sorted."""
+        return sorted({e.path for e in self.events})
+
+    def by_process(self) -> dict[str, list[TraceEvent]]:
+        """Events grouped per process (trace order within each)."""
+        out: dict[str, list[TraceEvent]] = {}
+        for event in self.events:
+            out.setdefault(event.process, []).append(event)
+        return out
+
+    def op_counts(self) -> dict[str, int]:
+        """How many events of each op the trace holds."""
+        out = {op: 0 for op in CANONICAL_OPS}
+        for event in self.events:
+            out[event.op] += 1
+        return out
+
+    def content_hash(self) -> str:
+        """BLAKE2b digest of the canonical event stream.
+
+        Two traces with identical events (same canonical order) share
+        the hash regardless of how they were produced, serialized, or
+        reloaded.  This is the *content* identity; the schedule
+        identity of a replay is the engine's trace hash.
+        """
+        acc = hashlib.blake2b(digest_size=16)
+        for event in self.events:
+            acc.update(
+                json.dumps(event.to_json(), sort_keys=True).encode()
+            )
+            acc.update(b"\n")
+        return acc.hexdigest()
+
+    def derive(
+        self, events: _t.Iterable[TraceEvent], note: str
+    ) -> "Trace":
+        """A new trace with ``events`` and this trace's meta + a
+        transform note appended (used by the transform passes)."""
+        meta = dict(self.meta)
+        meta["transforms"] = [*meta.get("transforms", []), note]
+        return Trace(events=list(events), meta=meta)
+
+    # -- JSONL serialization ---------------------------------------------
+    def dump_jsonl(self, fp: _t.TextIO) -> int:
+        """Write the trace as versioned JSONL; returns event count."""
+        header = {
+            "format": TRACE_FORMAT,
+            "version": self.version,
+            "events": len(self.events),
+            "meta": self.meta,
+        }
+        fp.write(json.dumps(header, sort_keys=True) + "\n")
+        for event in self.events:
+            fp.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
+        return len(self.events)
+
+    def dumps(self) -> str:
+        """The trace as a JSONL string."""
+        buf = io.StringIO()
+        self.dump_jsonl(buf)
+        return buf.getvalue()
+
+    # -- CSV export (legacy dialect) -------------------------------------
+    def dump_csv(self, fp: _t.TextIO) -> int:
+        """Write the version-1 CSV dialect; returns event count.
+
+        CSV cannot carry tags or strided shapes — strided events are
+        rejected rather than silently flattened.
+        """
         writer = csv.writer(fp)
-        writer.writerow(["time", "process", "path", "op", "offset", "nbytes"])
+        writer.writerow(CSV_COLUMNS)
         for e in self.events:
+            if e.is_list:
+                raise TraceFormatError(
+                    "the CSV dialect cannot express strided/list events; "
+                    "serialize as JSONL instead"
+                )
             writer.writerow(
                 [f"{e.time:.9f}", e.process, e.path, e.op, e.offset, e.nbytes]
             )
         return len(self.events)
 
-    def dumps(self) -> str:
-        """The trace as a CSV string."""
-        buf = io.StringIO()
-        self.to_csv(buf)
-        return buf.getvalue()
+
+# -- loading ---------------------------------------------------------------
+def _warn_legacy_ops(n: int) -> None:
+    warnings.warn(
+        f"trace uses the deprecated op spelling 'sync-write' ({n} "
+        "events); the canonical IR spelling is 'sync_write'",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def load_trace(fp: _t.TextIO) -> list[TraceEvent]:
-    """Parse a trace CSV (schema above; header required)."""
-    reader = csv.DictReader(fp)
-    required = {"time", "process", "path", "op", "offset", "nbytes"}
+def _load_jsonl(lines: list[str]) -> Trace:
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"malformed trace header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            f"not a {TRACE_FORMAT} header: {lines[0][:80]!r}"
+        )
+    version = header.get("version")
+    if version not in (1, TRACE_VERSION):
+        raise TraceFormatError(
+            f"unsupported trace version {version!r}; this build reads "
+            f"versions 1 and {TRACE_VERSION}"
+        )
+    events: list[TraceEvent] = []
+    legacy_ops = 0
+    for line_no, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"malformed event (line {line_no}): {exc}"
+            ) from exc
+        if isinstance(obj, dict) and obj.get("op") in LEGACY_OP_ALIASES:
+            legacy_ops += 1
+        events.append(TraceEvent.from_json(obj, line_no=line_no))
+    declared = header.get("events")
+    if isinstance(declared, int) and declared != len(events):
+        raise TraceFormatError(
+            f"trace truncated or padded: header declares {declared} "
+            f"events, found {len(events)}"
+        )
+    if legacy_ops:
+        _warn_legacy_ops(legacy_ops)
+    meta = header.get("meta") or {}
+    if not isinstance(meta, dict):
+        raise TraceFormatError(f"trace meta is not an object: {meta!r}")
+    return Trace(events=events, meta=meta, version=TRACE_VERSION)
+
+
+def _load_csv(text: str) -> Trace:
+    reader = csv.DictReader(io.StringIO(text))
+    required = set(CSV_COLUMNS)
     if reader.fieldnames is None or not required <= set(reader.fieldnames):
-        raise ValueError(
+        raise TraceFormatError(
             f"trace CSV needs columns {sorted(required)}, "
             f"got {reader.fieldnames}"
         )
-    events = [
-        TraceEvent(
-            time=float(row["time"]),
-            process=row["process"],
-            path=row["path"],
-            op=row["op"],
-            offset=int(row["offset"]),
-            nbytes=int(row["nbytes"]),
-        )
-        for row in reader
-    ]
-    events.sort(key=lambda e: e.time)
-    return events
+    events: list[TraceEvent] = []
+    legacy_ops = 0
+    for line_no, row in enumerate(reader, start=2):
+        if row.get("op") in LEGACY_OP_ALIASES:
+            legacy_ops += 1
+        try:
+            events.append(
+                TraceEvent(
+                    time=float(row["time"]),
+                    process=row["process"],
+                    path=row["path"],
+                    op=row["op"],
+                    offset=int(row["offset"]),
+                    nbytes=int(row["nbytes"]),
+                    app=row.get("app", "") or "",
+                    instance=int(row.get("instance") or 0),
+                    think_s=float(row.get("think_s") or 0.0),
+                    stride=int(row.get("stride") or 0),
+                    count=int(row.get("count") or 1),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, TraceFormatError):
+                raise TraceFormatError(
+                    f"{exc} (line {line_no})"
+                ) from exc
+            raise TraceFormatError(
+                f"malformed CSV event (line {line_no}): {exc}"
+            ) from exc
+    if legacy_ops:
+        _warn_legacy_ops(legacy_ops)
+    return Trace(events=events, meta={"dialect": "csv"})
+
+
+def loads(text: str) -> Trace:
+    """Parse a trace from a string, sniffing the dialect.
+
+    A leading ``{`` means the native JSONL format; anything else is
+    tried as the version-1 CSV dialect.
+    """
+    stripped = text.lstrip()
+    if not stripped:
+        raise TraceFormatError("empty trace")
+    if stripped.startswith("{"):
+        return _load_jsonl(text.splitlines())
+    return _load_csv(text)
+
+
+def load(fp: _t.TextIO) -> Trace:
+    """Parse a trace from a file object (JSONL or CSV dialect)."""
+    return loads(fp.read())
+
+
+def load_path(path: str) -> Trace:
+    """Parse a trace from a file path (JSONL or CSV dialect)."""
+    with open(path) as fp:
+        return load(fp)
+
+
+def validate_trace(trace: Trace) -> list[str]:
+    """Structural lint over a parsed trace; returns human-readable
+    issues (empty list == clean).
+
+    Event-level validity is enforced at construction; this checks the
+    cross-event properties an importer cares about: per-process time
+    monotonicity and degenerate (empty / zero-byte-only) traces.
+    """
+    issues: list[str] = []
+    if not trace.events:
+        issues.append("trace has no events")
+        return issues
+    for process, events in sorted(trace.by_process().items()):
+        last = -math.inf
+        for event in events:
+            if event.time < last:
+                issues.append(
+                    f"process {process!r} times go backwards at "
+                    f"t={event.time}"
+                )
+                break
+            last = event.time
+    if all(e.total_bytes == 0 for e in trace.events):
+        issues.append("every event transfers zero bytes")
+    return issues
+
+
+# -- legacy API (pre-IR call sites) ----------------------------------------
+def load_trace(fp: _t.TextIO) -> list[TraceEvent]:
+    """Parse a trace and return its events (legacy list-based API)."""
+    return load(fp).events
 
 
 def loads_trace(text: str) -> list[TraceEvent]:
-    """Parse a trace CSV from a string."""
-    return load_trace(io.StringIO(text))
+    """Parse a trace string and return its events (legacy API)."""
+    return loads(text).events
 
 
-class TraceReplayer:
-    """Re-issues a recorded trace against a (possibly different) cluster.
+# Recorder/replayer re-exports keep the historical import surface
+# (``repro.workload.trace.TraceRecorder`` / ``TraceReplayer``)
+# working; the implementations live in their own modules now.  Lazy
+# (PEP 562) because those modules import this one at load time.
+def __getattr__(name: str) -> _t.Any:
+    if name == "TraceRecorder":
+        from repro.workload.record import TraceRecorder
 
-    Each distinct trace process becomes one simulated process, placed
-    on a node by ``placement`` (dict process -> node; defaults to
-    round-robin over the compute nodes).  With ``preserve_timing`` the
-    original inter-arrival gaps are kept (open-loop replay); without
-    it, requests are issued back to back (closed-loop).
-    """
+        return TraceRecorder
+    if name == "TraceReplayer":
+        from repro.workload.replay import TraceReplayer
 
-    def __init__(
-        self,
-        cluster: Cluster,
-        events: _t.Sequence[TraceEvent],
-        placement: dict[str, str] | None = None,
-        preserve_timing: bool = True,
-    ) -> None:
-        self.cluster = cluster
-        self.events = sorted(events, key=lambda e: e.time)
-        self.preserve_timing = preserve_timing
-        processes = sorted({e.process for e in self.events})
-        nodes = cluster.compute_nodes
-        self.placement = placement or {
-            proc: nodes[i % len(nodes)] for i, proc in enumerate(processes)
-        }
-        missing = {e.process for e in self.events} - set(self.placement)
-        if missing:
-            raise ValueError(f"no placement for processes {sorted(missing)}")
-        #: Completion time per trace process, filled during replay.
-        self.completion: dict[str, float] = {}
+        return TraceReplayer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    def spawn(self) -> list[Process]:
-        """Start one replay process per trace process."""
-        by_process: dict[str, list[TraceEvent]] = {}
-        for event in self.events:
-            by_process.setdefault(event.process, []).append(event)
-        return [
-            self.cluster.env.process(
-                self._replay_one(name, events),
-                name=f"replay-{name}",
-            )
-            for name, events in sorted(by_process.items())
-        ]
 
-    def run(self) -> float:
-        """Replay everything; returns the simulated makespan."""
-        env = self.cluster.env
-        start = env.now
-        env.run(until=env.all_of(self.spawn()))
-        return env.now - start
-
-    def _replay_one(
-        self, name: str, events: list[TraceEvent]
-    ) -> _t.Generator:
-        env = self.cluster.env
-        client = self.cluster.client(self.placement[name])
-        client.process_name = f"replay/{name}"
-        handles: dict[str, _t.Any] = {}
-        start = env.now
-        base = events[0].time if events else 0.0
-        for event in events:
-            if self.preserve_timing:
-                due = start + (event.time - base)
-                if due > env.now:
-                    yield env.timeout(due - env.now)
-            handle = handles.get(event.path)
-            if handle is None:
-                handle = yield from client.open(event.path)
-                handles[event.path] = handle
-            if event.op == "read":
-                yield from client.read(handle, event.offset, event.nbytes)
-            elif event.op == "write":
-                yield from client.write(handle, event.offset, event.nbytes)
-            else:
-                yield from client.sync_write(
-                    handle, event.offset, event.nbytes
-                )
-        self.completion[name] = env.now - start
+__all__ = [
+    "CANONICAL_OPS",
+    "CSV_COLUMNS",
+    "LEGACY_OP_ALIASES",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceEvent",
+    "TraceFormatError",
+    "TraceRecorder",
+    "TraceReplayer",
+    "canonical_op",
+    "load",
+    "load_path",
+    "load_trace",
+    "loads",
+    "loads_trace",
+    "validate_trace",
+]

@@ -1,0 +1,207 @@
+"""Composable trace→trace transform passes.
+
+One recorded run becomes a family of scenarios: each transform is a
+pure function ``Trace -> Trace`` (built by a factory that captures its
+parameters), so transforms compose with :func:`compose` and chain
+freely.  Every pass appends a note to ``meta["transforms"]``, keeping
+a trace's derivation history in the file itself.
+
+All randomized passes draw from ``numpy.random.default_rng(seed)``
+over the trace's *canonical* event order, so a transform of a given
+trace is a deterministic function of ``(trace, parameters, seed)`` —
+transformed traces replay as reproducibly as recorded ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.workload.trace import Trace, TraceEvent
+
+#: A transform pass: pure function from trace to trace.
+Transform = _t.Callable[[Trace], Trace]
+
+
+def compose(*transforms: Transform) -> Transform:
+    """Chain transforms left to right into one pass."""
+
+    def passes(trace: Trace) -> Trace:
+        for transform in transforms:
+            trace = transform(trace)
+        return trace
+
+    return passes
+
+
+def time_scale(factor: float) -> Transform:
+    """Scale every timestamp and think time by ``factor``.
+
+    ``factor < 1`` compresses the run (a more I/O-intensive variant of
+    the same program); ``factor > 1`` dilates it.
+    """
+    if factor <= 0:
+        raise ValueError(f"time_scale factor must be > 0, got {factor}")
+
+    def passes(trace: Trace) -> Trace:
+        return trace.derive(
+            (
+                dataclasses.replace(
+                    e, time=e.time * factor, think_s=e.think_s * factor
+                )
+                for e in trace.events
+            ),
+            f"time_scale({factor})",
+        )
+
+    return passes
+
+
+def process_remap(mapping: dict[str, str]) -> Transform:
+    """Rename processes (``mapping`` old name -> new name).
+
+    Merging is allowed: mapping two old names to one new name fuses
+    their streams.  Names absent from the mapping pass through.
+    """
+
+    def passes(trace: Trace) -> Trace:
+        return trace.derive(
+            (
+                dataclasses.replace(
+                    e, process=mapping.get(e.process, e.process)
+                )
+                for e in trace.events
+            ),
+            f"process_remap({sorted(mapping.items())})",
+        )
+
+    return passes
+
+
+#: Node-remap is process-remap under the replayer's model: traces name
+#: processes, and placement onto nodes happens at replay time.
+node_remap = process_remap
+
+
+def _private_paths(trace: Trace) -> set[str]:
+    """Paths touched by exactly one process (per-process data)."""
+    owners: dict[str, set[str]] = {}
+    for event in trace.events:
+        owners.setdefault(event.path, set()).add(event.process)
+    return {path for path, procs in owners.items() if len(procs) == 1}
+
+
+def scale_out(factor: int) -> Transform:
+    """Clone every process stream ``factor``x (scale the job out).
+
+    Replica ``k >= 1`` of process ``P`` is named ``P~k`` and keeps
+    ``P``'s request stream, with two twists that preserve the trace's
+    sharing structure instead of inflating it artificially:
+
+    * paths private to one process get a ``~k`` suffix, so replicas
+      bring their own private data (shared paths stay shared and the
+      contention on them really grows ``factor``x);
+    * instance tags are offset per replica, so downstream grouping
+      (e.g. :class:`~repro.workload.runner.RunOutcome` instances)
+      sees the clones as extra instances.
+    """
+    if factor < 1:
+        raise ValueError(f"scale_out factor must be >= 1, got {factor}")
+
+    def passes(trace: Trace) -> Trace:
+        private = _private_paths(trace)
+        instance_span = 1 + max(
+            (e.instance for e in trace.events), default=0
+        )
+        events: list[TraceEvent] = list(trace.events)
+        for k in range(1, factor):
+            for e in trace.events:
+                events.append(
+                    dataclasses.replace(
+                        e,
+                        process=f"{e.process}~{k}",
+                        path=(
+                            f"{e.path}~{k}" if e.path in private else e.path
+                        ),
+                        instance=e.instance + k * instance_span,
+                    )
+                )
+        return trace.derive(events, f"scale_out({factor})")
+
+    return passes
+
+
+def remix_sharing(sharing: float, seed: int = 0) -> Transform:
+    """Re-mix the degree of inter-process data sharing.
+
+    Each event is retargeted, keeping its offset, size, and timing:
+    with probability ``sharing`` it goes to the trace's hottest path
+    (the shared dataset); otherwise to a per-process private twin of
+    its original path (``<path>~<process>``).  ``sharing=1`` makes the
+    workload fully shared, ``sharing=0`` fully private — the trace
+    analogue of the microbench's ``s`` knob.
+    """
+    if not (0.0 <= sharing <= 1.0):
+        raise ValueError(f"sharing must be in [0,1], got {sharing}")
+
+    def passes(trace: Trace) -> Trace:
+        import numpy as np
+
+        if not trace.events:
+            return trace.derive([], f"remix_sharing({sharing}, seed={seed})")
+        popularity: dict[str, int] = {}
+        for e in trace.events:
+            popularity[e.path] = popularity.get(e.path, 0) + 1
+        # Ties break on path name so the hot path is deterministic.
+        hot = max(sorted(popularity), key=lambda p: popularity[p])
+        rng = np.random.default_rng(seed)
+        events = [
+            dataclasses.replace(
+                e,
+                path=(
+                    hot
+                    if rng.random() < sharing
+                    else f"{e.path}~{e.process}"
+                ),
+            )
+            for e in trace.events
+        ]
+        return trace.derive(events, f"remix_sharing({sharing}, seed={seed})")
+
+    return passes
+
+
+def zipf_reskew(alpha: float = 1.5, seed: int = 0) -> Transform:
+    """Re-skew path popularity to a Zipf(``alpha``) law.
+
+    Paths are ranked by observed popularity; each event is then
+    redirected to the path whose rank a Zipf draw picks (draws beyond
+    the path count clip to the coldest path).  Offsets, sizes, and
+    timing are untouched — only *which file* gets hot changes, giving
+    cache policies a heavy-tailed reuse profile to chew on.
+    """
+    if alpha <= 1.0:
+        raise ValueError(f"zipf alpha must be > 1, got {alpha}")
+
+    def passes(trace: Trace) -> Trace:
+        import numpy as np
+
+        if not trace.events:
+            return trace.derive([], f"zipf_reskew({alpha}, seed={seed})")
+        popularity: dict[str, int] = {}
+        for e in trace.events:
+            popularity[e.path] = popularity.get(e.path, 0) + 1
+        ranked = sorted(
+            sorted(popularity), key=lambda p: popularity[p], reverse=True
+        )
+        rng = np.random.default_rng(seed)
+        draws = rng.zipf(alpha, size=len(trace.events))
+        events = [
+            dataclasses.replace(
+                e, path=ranked[min(int(draw), len(ranked)) - 1]
+            )
+            for e, draw in zip(trace.events, draws)
+        ]
+        return trace.derive(events, f"zipf_reskew({alpha}, seed={seed})")
+
+    return passes
