@@ -37,11 +37,21 @@ class Cluster:
     """A fully wired cluster: network, nodes, mgr, iods, cache modules."""
 
     def __init__(
-        self, config: ClusterConfig | None = None, env: Environment | None = None
+        self,
+        config: ClusterConfig | None = None,
+        env: Environment | None = None,
+        shard_plan: "_t.Any | None" = None,
+        shard_id: int = 0,
     ) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.env = env if env is not None else Environment()
         self.metrics = Metrics()
+        #: Parallel-engine partition this cluster is one shard of
+        #: (:class:`repro.sim.mailbox.ShardPlan`), or ``None`` for the
+        #: ordinary whole-cluster serial build (DESIGN.md §17).
+        self.shard_plan = shard_plan
+        self.shard_id = shard_id
+        sharded = shard_plan is not None and shard_plan.shards > 1
         costs = self.config.costs
 
         # ``costs.fabric`` picks the topology (hub vs switch);
@@ -73,8 +83,34 @@ class Cluster:
 
         compute_names = self.config.compute_node_names()
         iod_names = self.config.iod_node_names()
+        #: The mgr's node name, derivable without the Node object —
+        #: in a sharded build the mgr may live in another shard.
+        self.mgr_node_name = iod_names[0]
+        self.mailbox = None
+        if sharded:
+            if self.config.caching and self.config.cache.global_cache:
+                raise ValueError(
+                    "global_cache needs a shared directory object and "
+                    "cannot run under engine shards > 1"
+                )
+            from repro.sim.mailbox import InterShardMailbox
+
+            self.mailbox = InterShardMailbox(
+                self.env,
+                shard_id,
+                shard_plan,
+                self.network,
+                latency=fabric.transfer_time_unloaded,
+            )
+            self.network.shard_router = self.mailbox
+
+        def _local(name: str) -> bool:
+            return not sharded or shard_plan.shard_of(name) == shard_id
+
         self.nodes: dict[str, Node] = {}
         for name in dict.fromkeys([*compute_names, *iod_names]):
+            if not _local(name):
+                continue
             self.nodes[name] = Node(
                 self.env,
                 name,
@@ -89,18 +125,23 @@ class Cluster:
         )
 
         #: The single metadata server lives on the first iod node
-        #: (the usual PVFS deployment).
-        self.mgr = MetadataServer(
-            self.nodes[iod_names[0]],
-            iod_nodes=iod_names,
-            stripe_size=self.config.stripe_size,
-            metrics=self.metrics,
-            port=self.config.MGR_PORT,
-        )
-        self.mgr.start()
+        #: (the usual PVFS deployment); in a sharded build only its
+        #: owning shard constructs it.
+        self.mgr: MetadataServer | None = None
+        if _local(self.mgr_node_name):
+            self.mgr = MetadataServer(
+                self.nodes[self.mgr_node_name],
+                iod_nodes=iod_names,
+                stripe_size=self.config.stripe_size,
+                metrics=self.metrics,
+                port=self.config.MGR_PORT,
+            )
+            self.mgr.start()
 
         self.iods: list[Iod] = []
         for idx, name in enumerate(iod_names):
+            if not _local(name):
+                continue
             iod = Iod(
                 self.nodes[name],
                 layout=self.layout,
@@ -124,6 +165,8 @@ class Cluster:
 
                 gcache_directory = GlobalCacheDirectory(compute_names)
             for name in compute_names:
+                if not _local(name):
+                    continue
                 module = CacheModule(
                     self.nodes[name],
                     layout=self.layout,
@@ -146,11 +189,13 @@ class Cluster:
         #: Every top-level service in start order (children — flusher,
         #: harvester, gcache — are reached through their parents).
         self.services: list[Service] = [
-            self.mgr,
+            *([self.mgr] if self.mgr is not None else []),
             *self.iods,
             *(
                 node.writeback
-                for node in (self.nodes[n] for n in iod_names)
+                for node in (
+                    self.nodes[n] for n in iod_names if n in self.nodes
+                )
                 if node.writeback is not None
             ),
             *self.cache_modules.values(),
@@ -176,7 +221,7 @@ class Cluster:
         """A fresh libpvfs instance (one per application process)."""
         return PVFSClient(
             self.nodes[node_name],
-            mgr_node=self.mgr.node.name,
+            mgr_node=self.mgr_node_name,
             metrics=self.metrics,
             mgr_port=self.config.MGR_PORT,
             iod_port=self.config.IOD_PORT,

@@ -1,0 +1,419 @@
+"""Inter-shard mailbox: the only channel between shard environments.
+
+The conservative parallel engine (DESIGN.md §17) partitions a
+cluster's nodes across shard :class:`~repro.sim.engine.Environment`
+objects that advance in lookahead quanta.  Everything that crosses a
+shard boundary — connection handshakes and the messages that follow —
+travels as a serializable :class:`Envelope` through one
+:class:`InterShardMailbox` per shard.  Envelopes are injected at
+barriers in deterministic ``(deliver_time, src_shard, seq)`` order, so
+the merged schedule is identical whether shards run in one process
+(inline backend) or one worker process each.
+
+Cross-shard transfers are timed as *unloaded* fabric transfers
+(``base latency + serialization time``): a remote delivery never
+contends with the destination shard's local traffic.  That is the
+model's one approximation relative to a serial run — every delivery is
+still at least one full lookahead quantum in the future, which is what
+makes the barrier protocol conservative.
+
+Per-direction FIFO is preserved the same way TCP preserves it: each
+``(connection, direction)`` keeps a monotone delivery clock, and a
+message computed to land earlier than its predecessor is clamped to
+the predecessor's delivery time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.sim.engine import Environment
+from repro.sim.events import Event, Timeout
+from repro.sim.resources import Store
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.message import Message
+
+#: Endpoint roles, mirrored from :mod:`repro.net.sockets` (not imported
+#: to keep this module free of net dependencies).
+CLIENT = "client"
+SERVER = "server"
+
+#: Wire bytes charged for a connection-open (SYN) control envelope —
+#: one protocol header, matching ``Message.HEADER_BYTES``.
+SYN_WIRE_BYTES = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """Node-to-shard partition of one cluster topology.
+
+    The assignment must cover every node name of the cluster; shard
+    ids run ``0..shards-1`` and a shard may own no nodes at all (more
+    shards than nodes — it simply has nothing to simulate).
+    """
+
+    shards: int
+    assignment: dict[str, int]
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
+        for node, shard in self.assignment.items():
+            if not 0 <= shard < self.shards:
+                raise ValueError(
+                    f"node {node!r} assigned to shard {shard} "
+                    f"outside 0..{self.shards - 1}"
+                )
+
+    def shard_of(self, node: str) -> int:
+        """The shard owning ``node``."""
+        return self.assignment[node]
+
+    def local_nodes(self, shard_id: int) -> list[str]:
+        """Sorted names of the nodes owned by ``shard_id``."""
+        return sorted(
+            node for node, s in self.assignment.items() if s == shard_id
+        )
+
+
+def plan_shards(
+    compute_names: _t.Sequence[str],
+    iod_names: _t.Sequence[str],
+    shards: int,
+) -> ShardPlan:
+    """Partition node names round-robin by index.
+
+    Compute node ``i`` and iod node ``i`` land on the same shard
+    (``i % shards``), so each iod is co-located with the cache module
+    it shares a box with in the paper's testbed — the hot
+    cache-to-local-iod paths stay intra-shard.  Round-robin (rather
+    than contiguous blocks) spreads the replayer's round-robin process
+    placement evenly across shards.
+    """
+    assignment: dict[str, int] = {}
+    for i, name in enumerate(compute_names):
+        assignment[name] = i % shards
+    for i, name in enumerate(iod_names):
+        assignment.setdefault(name, i % shards)
+    return ShardPlan(shards=shards, assignment=assignment)
+
+
+@dataclasses.dataclass(frozen=True)
+class Envelope:
+    """One serializable cross-shard delivery.
+
+    ``sort_key`` — ``(deliver_time, src_shard, seq)`` — totally orders
+    every envelope of a run, which is what makes barrier injection
+    deterministic across backends.
+    """
+
+    deliver_time: float
+    src_shard: int
+    dst_shard: int
+    seq: int
+    #: ``(origin shard, origin-local id)`` of the connection.
+    conn_uid: tuple[int, int]
+    #: ``"data"`` for an in-connection message, ``"syn"`` for the
+    #: connection-open control envelope.
+    kind: str = "data"
+    #: Receiving endpoint role (data envelopes).
+    to_role: str = SERVER
+    message: "Message | None" = None
+    #: Connection addressing (syn envelopes).
+    client_node: str = ""
+    server_node: str = ""
+    port: int = 0
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        """The canonical injection order: (time, shard, seq)."""
+        return (self.deliver_time, self.src_shard, self.seq)
+
+
+class ShardDelivery(Event):
+    """The event under which one envelope lands in its shard."""
+
+    __slots__ = ()
+
+
+class RemoteHalfConnection:
+    """One shard's half of a cross-shard socket connection.
+
+    Duck-types :class:`repro.net.sockets.Connection` for the fields an
+    :class:`~repro.net.sockets.Endpoint` touches (``client_node`` /
+    ``server_node`` / ``env`` / ``_inbox`` / ``_send`` / ``conn_id`` /
+    ``closed``), but only the *local* role's inbox exists here — the
+    peer half lives in another shard's environment and sends land
+    there as envelopes.
+    """
+
+    __slots__ = (
+        "mailbox",
+        "env",
+        "conn_uid",
+        "conn_id",
+        "client_node",
+        "server_node",
+        "local_role",
+        "peer_shard",
+        "_inbox",
+        "closed",
+    )
+
+    def __init__(
+        self,
+        mailbox: "InterShardMailbox",
+        conn_uid: tuple[int, int],
+        client_node: str,
+        server_node: str,
+        local_role: str,
+        peer_shard: int,
+    ) -> None:
+        self.mailbox = mailbox
+        self.env: Environment = mailbox.env
+        self.conn_uid = conn_uid
+        #: Display id; the uid pair keeps it unique across shards.
+        self.conn_id = f"x{conn_uid[0]}.{conn_uid[1]}"
+        self.client_node = client_node
+        self.server_node = server_node
+        self.local_role = local_role
+        self.peer_shard = peer_shard
+        self._inbox: dict[str, Store] = {local_role: Store(self.env)}
+        self.closed = False
+
+    def _send(self, from_role: str, message: "Message") -> Event:
+        if self.closed:
+            raise RuntimeError("send on closed connection")
+        if from_role != self.local_role:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"role {from_role!r} does not live on this shard's half "
+                f"of connection {self.conn_id}"
+            )
+        message.src = (
+            self.client_node if from_role == CLIENT else self.server_node
+        )
+        message.dst = (
+            self.server_node if from_role == CLIENT else self.client_node
+        )
+        return self.mailbox.post(self, message)
+
+    def close(self) -> None:
+        """Mark this half closed (local sends then fail)."""
+        self.closed = True
+
+    def __repr__(self) -> str:
+        return (
+            f"<RemoteHalfConnection #{self.conn_id} {self.local_role}-half "
+            f"{self.client_node}<->{self.server_node}>"
+        )
+
+
+class InterShardMailbox:
+    """Per-shard router for everything that crosses a shard boundary.
+
+    Attached to the shard's :class:`~repro.net.network.Network` as
+    ``shard_router``; :meth:`repro.net.sockets.SocketAPI.connect`
+    consults it to open cross-shard connections, and the parallel
+    driver calls :meth:`collect` / :meth:`inject` at every barrier.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        shard_id: int,
+        plan: ShardPlan,
+        network: _t.Any,
+        latency: _t.Callable[[int], float],
+    ) -> None:
+        self.env = env
+        self.shard_id = shard_id
+        self.plan = plan
+        self.network = network
+        #: Unloaded transfer time for ``wire_bytes`` on this shard's
+        #: fabric (``Fabric.transfer_time_unloaded``).
+        self.latency = latency
+        #: Envelopes produced since the last :meth:`collect`.
+        self.outbox: list[Envelope] = []
+        #: Cross-shard halves living in this shard, by connection uid.
+        self._halves: dict[tuple[int, int], RemoteHalfConnection] = {}
+        #: Monotone per-``(conn_uid, to_role)`` delivery clock (FIFO).
+        self._fifo_clock: dict[tuple[tuple[int, int], str], float] = {}
+        #: Deterministic envelope tiebreaker, local to this shard.
+        self._seq = 0
+        #: Origin-local connection id counter.
+        self._next_conn = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.connects_opened = 0
+
+    # -- topology ----------------------------------------------------------
+    def is_local(self, node: str) -> bool:
+        """Does ``node`` live in this shard's environment?
+
+        Unknown names (nodes built outside the cluster config) are
+        treated as local — only planned nodes are ever remote.
+        """
+        return self.plan.assignment.get(node, self.shard_id) == self.shard_id
+
+    # -- sending -----------------------------------------------------------
+    def _enqueue(
+        self,
+        dst_shard: int,
+        direction: tuple[tuple[int, int], str],
+        wire_bytes: int,
+        **fields: _t.Any,
+    ) -> float:
+        """Queue one envelope; returns the local latency charged."""
+        delay = self.latency(wire_bytes)
+        deliver = self.env.now + delay
+        floor = self._fifo_clock.get(direction, 0.0)
+        if deliver < floor:
+            deliver = floor
+        self._fifo_clock[direction] = deliver
+        self._seq += 1
+        self.outbox.append(
+            Envelope(
+                deliver_time=deliver,
+                src_shard=self.shard_id,
+                dst_shard=dst_shard,
+                seq=self._seq,
+                **fields,
+            )
+        )
+        self.env.note_cross_shard_msg()
+        return delay
+
+    def post(self, half: RemoteHalfConnection, message: "Message") -> Event:
+        """Route ``message`` to the peer half; returns the send event.
+
+        The event fires after the same unloaded transfer time the
+        envelope is stamped with, mirroring the serial contract that a
+        send completes once the peer has the message queued.
+        """
+        to_role = SERVER if half.local_role == CLIENT else CLIENT
+        delay = self._enqueue(
+            half.peer_shard,
+            (half.conn_uid, to_role),
+            message.wire_bytes,
+            conn_uid=half.conn_uid,
+            kind="data",
+            to_role=to_role,
+            message=message,
+        )
+        self.messages_sent += 1
+        done = Event(self.env)
+        Timeout(self.env, delay).callbacks.append(
+            lambda _ev: done.succeed(message)
+        )
+        return done
+
+    def open_connection(
+        self, client_node: str, server_node: str, port: int
+    ) -> _t.Any:
+        """Open a cross-shard connection; returns the client Endpoint.
+
+        The local (client) half exists immediately; a SYN envelope
+        creates the server half — and pushes its endpoint into the
+        listening queue — at the destination shard one latency quantum
+        later.  Data sent meanwhile cannot overtake the SYN: both
+        directions share the connection's monotone delivery clock.
+        """
+        from repro.net.sockets import Endpoint
+
+        self._next_conn += 1
+        uid = (self.shard_id, self._next_conn)
+        half = RemoteHalfConnection(
+            self,
+            uid,
+            client_node,
+            server_node,
+            CLIENT,
+            peer_shard=self.plan.shard_of(server_node),
+        )
+        self._halves[uid] = half
+        self._enqueue(
+            half.peer_shard,
+            (uid, SERVER),
+            SYN_WIRE_BYTES,
+            conn_uid=uid,
+            kind="syn",
+            client_node=client_node,
+            server_node=server_node,
+            port=port,
+        )
+        self.connects_opened += 1
+        return Endpoint(half, CLIENT)
+
+    # -- barrier exchange --------------------------------------------------
+    def collect(self) -> list[Envelope]:
+        """Drain and return the envelopes queued since the last barrier."""
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def inject(self, envelopes: _t.Sequence[Envelope]) -> None:
+        """Schedule deliveries for envelopes addressed to this shard.
+
+        Called between quanta.  Envelopes are scheduled in canonical
+        ``sort_key`` order; each lands under a :class:`ShardDelivery`
+        event at its stamped delivery time, which the conservative
+        protocol guarantees is at or after the shard's clock.
+        """
+        env = self.env
+        now = env.now
+        for envelope in sorted(envelopes, key=lambda e: e.sort_key):
+            delay = envelope.deliver_time - now
+            if delay < 0:  # pragma: no cover - protocol invariant
+                raise RuntimeError(
+                    f"envelope for t={envelope.deliver_time} arrived in "
+                    f"shard {self.shard_id}'s past (now={now}); the "
+                    "lookahead barrier protocol was violated"
+                )
+            event = ShardDelivery(env)
+            event.callbacks.append(
+                lambda _ev, e=envelope: self._deliver(e)
+            )
+            env.schedule(event, delay=delay)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        """Land one envelope (runs at its delivery time)."""
+        if envelope.kind == "syn":
+            self._accept_syn(envelope)
+            return
+        half = self._halves[envelope.conn_uid]
+        half._inbox[envelope.to_role].put(envelope.message)
+        self.messages_received += 1
+
+    def _accept_syn(self, envelope: Envelope) -> None:
+        from repro.net.sockets import Endpoint
+
+        half = RemoteHalfConnection(
+            self,
+            envelope.conn_uid,
+            envelope.client_node,
+            envelope.server_node,
+            SERVER,
+            peer_shard=envelope.src_shard,
+        )
+        self._halves[envelope.conn_uid] = half
+        registry = getattr(self.network, "_listeners", {})
+        try:
+            queue = registry[(envelope.server_node, envelope.port)]
+        except KeyError:
+            raise ConnectionRefusedError(
+                f"nothing listening at {envelope.server_node}:"
+                f"{envelope.port} (cross-shard connect from "
+                f"{envelope.client_node})"
+            ) from None
+        queue._push(Endpoint(half, SERVER))
+
+    # -- statistics --------------------------------------------------------
+    def stats_snapshot(self) -> dict[str, int]:
+        """Mailbox traffic counters."""
+        return {
+            "cross_shard_sent": self.messages_sent,
+            "cross_shard_received": self.messages_received,
+            "cross_shard_connects": self.connects_opened,
+        }

@@ -52,6 +52,8 @@ class Resource:
     ``capacity`` concurrent holders are allowed; further requests queue.
     """
 
+    __slots__ = ("env", "capacity", "_holders", "_waiting")
+
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -131,6 +133,8 @@ class Lock(Resource):
     free and dirty lists, mirroring the paper's fine-grained locking.
     """
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment") -> None:
         super().__init__(env, capacity=1)
 
@@ -159,6 +163,8 @@ class Store:
     space frees up; ``get`` fires when an item is available.  Used as
     the mailbox of every simulated daemon and kernel thread.
     """
+
+    __slots__ = ("env", "capacity", "_items", "_getters", "_putters")
 
     def __init__(
         self, env: "Environment", capacity: float = float("inf")

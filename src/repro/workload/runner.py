@@ -43,7 +43,9 @@ class RunOutcome:
     mean_read_latency: float
     mean_write_latency: float
     counters: dict[str, int]
-    cluster: Cluster
+    #: The live cluster, or ``None`` for sharded replays (each
+    #: shard's cluster lives and dies inside its worker).
+    cluster: Cluster | None
     #: The run's recorded trace (``record=True`` only).
     trace: "Trace | None" = None
 
@@ -144,6 +146,25 @@ def _run_replay(
     from repro.workload.trace import load_path
 
     trace = load_path(trace_source)
+    shards = config.resolved_engine_shards
+    if shards > 1:
+        if record:
+            raise ValueError(
+                "record=True taps one live cluster and cannot observe a "
+                "sharded replay; record with engine_shards=1"
+            )
+        from repro.sim.parallel import run_sharded_replay
+
+        outcome = run_sharded_replay(config, trace, shards=shards)
+        return RunOutcome(
+            instances=_replay_instances(trace, outcome.completion),
+            total_time=outcome.total_time,
+            mean_read_latency=outcome.mean_series("client.read_latency"),
+            mean_write_latency=outcome.mean_series("client.write_latency"),
+            counters=dict(outcome.counters),
+            cluster=None,
+            trace=None,
+        )
     cluster = Cluster(config)
     recorder = _tap(cluster) if record else None
     replayer = TraceReplayer(cluster, trace, preserve_timing=False)
@@ -151,11 +172,26 @@ def _run_replay(
     cluster.record_network_metrics()
     cluster.record_scheduler_metrics()
     metrics = cluster.metrics
+    return RunOutcome(
+        instances=_replay_instances(trace, replayer.completion),
+        total_time=total,
+        mean_read_latency=metrics.mean("client.read_latency"),
+        mean_write_latency=metrics.mean("client.write_latency"),
+        counters=dict(metrics.counters),
+        cluster=cluster,
+        trace=_finish(recorder, config, f"replay:{trace_source}"),
+    )
+
+
+def _replay_instances(
+    trace: "Trace", completion: dict[str, float]
+) -> list[InstanceResult]:
+    """Per-instance results reconstructed from replay completions."""
     by_instance: dict[int, dict[str, float]] = {}
     tags = {e.process: e.instance for e in trace.events}
-    for process, elapsed in replayer.completion.items():
+    for process, elapsed in completion.items():
         by_instance.setdefault(tags.get(process, 0), {})[process] = elapsed
-    instances = [
+    return [
         InstanceResult(
             instance=tag,
             makespan=max(completions.values()),
@@ -166,12 +202,3 @@ def _run_replay(
         )
         for tag, completions in sorted(by_instance.items())
     ]
-    return RunOutcome(
-        instances=instances,
-        total_time=total,
-        mean_read_latency=metrics.mean("client.read_latency"),
-        mean_write_latency=metrics.mean("client.write_latency"),
-        counters=dict(metrics.counters),
-        cluster=cluster,
-        trace=_finish(recorder, config, f"replay:{trace_source}"),
-    )

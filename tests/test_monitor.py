@@ -129,6 +129,52 @@ def test_monitor_on_real_cluster_cache_occupancy():
     assert monitor.peak("resident") <= 32
 
 
+# -- barrier/lookahead scheduler counters ------------------------------------
+
+
+def test_sched_stats_exposes_barrier_counters():
+    env = Environment()
+    stats = env.sched_stats()
+    assert stats["barriers_crossed"] == 0
+    assert stats["cross_shard_msgs"] == 0
+    assert stats["max_shard_skew_us"] == 0
+
+
+def test_note_barrier_and_cross_shard_counters():
+    env = Environment()
+    env.note_barrier(skew_s=150e-6)
+    env.note_barrier(skew_s=50e-6)  # lower skew: high-water unchanged
+    env.note_cross_shard_msg()
+    env.note_cross_shard_msg(3)
+    stats = env.sched_stats()
+    assert stats["barriers_crossed"] == 2
+    assert stats["cross_shard_msgs"] == 4
+    assert stats["max_shard_skew_us"] == 150
+
+
+def test_barrier_counters_fold_into_sim_metrics():
+    cluster = make_cluster()
+    cluster.env.note_barrier(skew_s=1e-3)
+    cluster.env.note_cross_shard_msg(2)
+    cluster.record_scheduler_metrics()
+    assert cluster.metrics.counters["sim.barriers_crossed"] == 1
+    assert cluster.metrics.counters["sim.cross_shard_msgs"] == 2
+    assert cluster.metrics.counters["sim.max_shard_skew_us"] == 1000
+
+
+def test_daemon_summary_scheduler_line_has_barrier_counters():
+    import io
+
+    from repro.experiments.report import daemon_summary
+
+    stream = io.StringIO()
+    daemon_summary(stream=stream)
+    out = stream.getvalue()
+    assert "barriers" in out
+    assert "cross-shard msgs" in out
+    assert "shard skew" in out
+
+
 # -- validator ---------------------------------------------------------------
 
 
