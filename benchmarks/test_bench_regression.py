@@ -43,6 +43,13 @@ the perf trajectory is visible across PRs:
   within ``TRACE_REPLAY_EVENT_OVERHEAD``x of the original recorded
   run's event count — replaying a trace must not inflate the event
   budget of the run it reproduces.
+* ``openloop_knee_256_s`` / ``mgr_shard_speedup`` — the scaling
+  experiment's knee point (DESIGN.md §18): a churn-heavy open-loop
+  workload offered at 16k ops/s to a 256-node cluster, replayed with
+  1 and with 4 metadata shards.  The wall clock of the single-shard
+  point is baseline-gated; the *completed-ops speedup* of 4 shards
+  over 1 is simulated time, hence deterministic and exactly
+  host-independent, and must reach ``MGR_SHARD_SPEEDUP_FLOOR``.
 * ``shard_replay_serial_s`` / ``shard_replay_4w_s`` — a 64-node,
   64-process trace replayed serially vs split across 4 conservative
   parallel engine shards in worker processes (DESIGN.md §17).  The
@@ -133,6 +140,13 @@ TRACE_REPLAY_EVENT_OVERHEAD = 1.5
 #: the achievable parallel speedup from above (observed ~3.8x on the
 #: 64-node bench trace — round-robin keeps the shards balanced).
 SHARD_EVENT_SPLIT_FLOOR = 2.0
+
+#: Four metadata shards must complete at least this many times the
+#: ops/s of the single mgr at the 256-node open-loop knee.  Completed
+#: throughput is simulated time — deterministic, so this ratio is
+#: exactly host-independent; observed ~2.5x (the single mgr pins at
+#: its ~6.6k opens/s service capacity).
+MGR_SHARD_SPEEDUP_FLOOR = 2.0
 
 #: With at least 4 real cores the wall clock must follow the split:
 #: the 4-worker replay at least this many times faster than serial.
@@ -485,6 +499,24 @@ def _measure_shard_replay(rounds: int = 2) -> tuple[float, float, float]:
     return serial_s, min(r[0] for r in results), results[0][1]
 
 
+def _measure_openloop_knee() -> tuple[float, float]:
+    """The 256-node open-loop knee point, 1 vs 4 mgr shards.
+
+    Runs the scaling experiment's saturating workload (churn-heavy,
+    write-only, uniform offsets — the pure metadata-stress case) once
+    per shard count.  Returns (wall-clock seconds of the single-shard
+    point, completed-ops speedup of 4 shards over 1); the speedup is
+    a ratio of simulated times and therefore deterministic.
+    """
+    from repro.experiments.scaling import scaling_point
+
+    t0 = time.perf_counter()
+    one = scaling_point(256, 1)
+    knee_s = time.perf_counter() - t0
+    four = scaling_point(256, 4)
+    return knee_s, four["completed_ops_per_s"] / one["completed_ops_per_s"]
+
+
 def test_engine_regression(monkeypatch):
     monkeypatch.setenv(WORKERS_ENV_VAR, "1")  # comparable across hosts
     monkeypatch.delenv(NET_MODEL_ENV_VAR, raising=False)
@@ -502,6 +534,7 @@ def test_engine_regression(monkeypatch):
     macro_on_s, macro_on_events = _measure_macro_replay(True)
     replay_s, replay_events, source_events = _measure_trace_replay()
     shard_serial_s, shard_4w_s, shard_split = _measure_shard_replay()
+    knee_s, mgr_speedup = _measure_openloop_knee()
     fig4_frames = _measure_fig4_quick_sweep_s()
     monkeypatch.setenv(NET_MODEL_ENV_VAR, "fluid")
     fig4_fluid = _measure_fig4_quick_sweep_s()
@@ -525,6 +558,8 @@ def test_engine_regression(monkeypatch):
         "trace_replay_s": round(replay_s, 4),
         "shard_replay_serial_s": round(shard_serial_s, 4),
         "shard_replay_4w_s": round(shard_4w_s, 4),
+        "openloop_knee_256_s": round(knee_s, 3),
+        "mgr_shard_speedup": round(mgr_speedup, 3),
     }
     # Host-independent gate: replaying a recorded run drives the same
     # client calls the generator did, so it must not inflate the event
@@ -577,6 +612,15 @@ def test_engine_regression(monkeypatch):
         f"4-shard replay split only {shard_split:.2f}x "
         f"(floor {SHARD_EVENT_SPLIT_FLOOR}x): the busiest shard holds "
         "too much of the event budget"
+    )
+    # Host-independent gate: at the 256-node knee the single mgr is
+    # the serialization point; hash-partitioning it across 4 shards
+    # must move completed throughput by at least the floor.  Simulated
+    # time, so the ratio is deterministic.
+    assert mgr_speedup >= MGR_SHARD_SPEEDUP_FLOOR, (
+        f"4 mgr shards only completed {mgr_speedup:.2f}x the single "
+        f"mgr's ops/s at the 256-node open-loop knee "
+        f"(floor {MGR_SHARD_SPEEDUP_FLOOR}x)"
     )
     if (os.cpu_count() or 1) >= 4:
         shard_speedup = shard_serial_s / shard_4w_s

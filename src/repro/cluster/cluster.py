@@ -83,7 +83,23 @@ class Cluster:
 
         compute_names = self.config.compute_node_names()
         iod_names = self.config.iod_node_names()
-        #: The mgr's node name, derivable without the Node object —
+        #: How many hash-partitioned metadata shards run (DESIGN.md
+        #: §18).  Resolved once, like the net/disk models.
+        self.mgr_shards = self.config.resolved_mgr_shards
+        #: Where each mgr shard lives: shard ``k`` on iod node
+        #: ``k % n_iods`` (round-robin over the same order
+        #: ``plan_shards`` partitions nodes, so a shard's mgr stays
+        #: co-located with its parallel-DES partition), on port
+        #: ``MGR_PORT + k // n_iods`` so shards beyond the node count
+        #: stack onto fresh ports instead of colliding.
+        self.mgr_placements: list[tuple[str, int]] = [
+            (
+                iod_names[k % len(iod_names)],
+                self.config.MGR_PORT + k // len(iod_names),
+            )
+            for k in range(self.mgr_shards)
+        ]
+        #: Shard 0's node name, derivable without the Node object —
         #: in a sharded build the mgr may live in another shard.
         self.mgr_node_name = iod_names[0]
         self.mailbox = None
@@ -124,19 +140,28 @@ class Cluster:
             n_iods=len(iod_names), stripe_size=self.config.stripe_size
         )
 
-        #: The single metadata server lives on the first iod node
-        #: (the usual PVFS deployment); in a sharded build only its
-        #: owning shard constructs it.
-        self.mgr: MetadataServer | None = None
-        if _local(self.mgr_node_name):
-            self.mgr = MetadataServer(
-                self.nodes[self.mgr_node_name],
+        #: The metadata shards, indexed by shard number (``None`` for
+        #: shards owned by another engine shard).  The default single
+        #: shard lives on the first iod node (the usual PVFS
+        #: deployment).
+        self.mgr_servers: list[MetadataServer | None] = []
+        for k, (mgr_node, mgr_port) in enumerate(self.mgr_placements):
+            if not _local(mgr_node):
+                self.mgr_servers.append(None)
+                continue
+            server = MetadataServer(
+                self.nodes[mgr_node],
                 iod_nodes=iod_names,
                 stripe_size=self.config.stripe_size,
                 metrics=self.metrics,
-                port=self.config.MGR_PORT,
+                port=mgr_port,
+                shard_index=k,
+                n_shards=self.mgr_shards,
             )
-            self.mgr.start()
+            server.start()
+            self.mgr_servers.append(server)
+        #: Shard 0, the whole service when ``mgr_shards == 1``.
+        self.mgr: MetadataServer | None = self.mgr_servers[0]
 
         self.iods: list[Iod] = []
         for idx, name in enumerate(iod_names):
@@ -150,6 +175,7 @@ class Cluster:
                 port=self.config.IOD_PORT,
                 flush_port=self.config.FLUSH_PORT,
                 invalidate_port=self.INVALIDATE_PORT,
+                mgr_shards=self.mgr_shards,
             )
             iod.start()
             self.iods.append(iod)
@@ -189,7 +215,7 @@ class Cluster:
         #: Every top-level service in start order (children — flusher,
         #: harvester, gcache — are reached through their parents).
         self.services: list[Service] = [
-            *([self.mgr] if self.mgr is not None else []),
+            *(s for s in self.mgr_servers if s is not None),
             *self.iods,
             *(
                 node.writeback
@@ -226,6 +252,7 @@ class Cluster:
             mgr_port=self.config.MGR_PORT,
             iod_port=self.config.IOD_PORT,
             use_cache=use_cache,
+            mgr_placements=self.mgr_placements,
         )
 
     def run(self, until: _t.Any = None) -> _t.Any:

@@ -73,6 +73,14 @@ SHARD_BACKEND_ENV_VAR = "REPRO_ENGINE_SHARD_BACKEND"
 #: Recognised shard execution backends.
 SHARD_BACKENDS = ("process", "inline")
 
+#: Environment variable selecting how many hash-partitioned metadata
+#: server shards a cluster runs, for configs whose ``mgr_shards`` is
+#: unset.  ``1`` (or unset) keeps the paper's single mgr — and the
+#: schedule bit-identical to it; like ``REPRO_NET_MODEL``, this is
+#: how ``--mgr-shards`` reaches clusters built inside parallel sweep
+#: workers.
+MGR_SHARDS_ENV_VAR = "REPRO_MGR_SHARDS"
+
 
 @dataclasses.dataclass
 class CostModel:
@@ -254,6 +262,11 @@ class ClusterConfig:
     #: (same-process multi-environment mode), or ``None`` to defer to
     #: ``REPRO_ENGINE_SHARD_BACKEND``.
     shard_backend: str | None = None
+    #: Hash-partitioned metadata server shards (DESIGN.md §18): how
+    #: many mgr daemons the file namespace is split across, or
+    #: ``None`` to defer to ``REPRO_MGR_SHARDS`` falling back to 1
+    #: (the paper's single mgr, bit-identical schedules).
+    mgr_shards: int | None = None
     cache: CacheConfig = dataclasses.field(default_factory=CacheConfig)
     costs: CostModel = dataclasses.field(default_factory=CostModel)
 
@@ -279,6 +292,10 @@ class ClusterConfig:
             raise ValueError(
                 f"unknown shard_backend {self.shard_backend!r}; "
                 f"have {SHARD_BACKENDS}"
+            )
+        if self.mgr_shards is not None and self.mgr_shards < 1:
+            raise ValueError(
+                f"mgr_shards must be >= 1, got {self.mgr_shards}"
             )
         if self.stripe_size <= 0:
             raise ValueError("stripe size must be positive")
@@ -383,6 +400,29 @@ class ClusterConfig:
                 f"{SHARD_BACKENDS}"
             )
         return backend
+
+    @property
+    def resolved_mgr_shards(self) -> int:
+        """How many metadata server shards this config asks for.
+
+        An explicit ``mgr_shards`` wins; otherwise a non-empty
+        ``REPRO_MGR_SHARDS`` chooses, and with neither set the
+        paper's single mgr runs.
+        """
+        if self.mgr_shards is not None:
+            return self.mgr_shards
+        raw = os.environ.get(MGR_SHARDS_ENV_VAR, "")
+        if not raw:
+            return 1
+        try:
+            shards = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{MGR_SHARDS_ENV_VAR}={raw!r} is not an integer"
+            ) from None
+        if shards < 1:
+            raise ValueError(f"{MGR_SHARDS_ENV_VAR}={raw!r} must be >= 1")
+        return shards
 
     def compute_node_names(self) -> list[str]:
         """Names of the compute nodes."""

@@ -18,6 +18,7 @@ from repro.cluster.config import (
     DISK_MODELS,
     ENGINE_MACRO_ENV_VAR,
     ENGINE_SHARDS_ENV_VAR,
+    MGR_SHARDS_ENV_VAR,
     NET_MODEL_ENV_VAR,
     NET_MODELS,
     TRACE_ENV_VAR,
@@ -49,7 +50,14 @@ RUNNERS: dict[str, _t.Callable[[bool], list[ExperimentResult]]] = {
         run_block_size_sweep(),
     ],
     "extensions": lambda quick: _run_extensions(quick),
+    "scaling": lambda quick: _run_scaling(quick),
 }
+
+
+def _run_scaling(quick: bool) -> "list[ExperimentResult]":
+    from repro.experiments.scaling import run_scaling
+
+    return [run_scaling(quick)]
 
 
 def _run_extensions(quick: bool) -> "list[ExperimentResult]":
@@ -114,6 +122,8 @@ def daemon_summary(stream: _t.TextIO = sys.stdout) -> str:
     net = cluster.record_network_metrics()
     sched = cluster.record_scheduler_metrics()
     print(table, file=stream)
+    print("\nmetadata shards:", file=stream)
+    print(monitor.mgr_shard_table(duration_s=cluster.env.now), file=stream)
     print(f"\n[{dispatches} dispatches observed on the bus]", file=stream)
     print(
         "[network: {model}, {messages_delivered} messages, "
@@ -230,6 +240,17 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--mgr-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "hash-partition the PVFS metadata namespace across N mgr "
+            "shards (DESIGN.md §18); 1 (the default) is the paper's "
+            "single mgr, bit-identical to before"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         type=str,
         default=None,
@@ -265,6 +286,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         os.environ[ENGINE_MACRO_ENV_VAR] = "1"
     if args.engine_shards:
         os.environ[ENGINE_SHARDS_ENV_VAR] = str(args.engine_shards)
+    if args.mgr_shards:
+        os.environ[MGR_SHARDS_ENV_VAR] = str(args.mgr_shards)
     if args.trace:
         os.environ[TRACE_ENV_VAR] = args.trace
     if args.profile:

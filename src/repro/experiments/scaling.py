@@ -1,0 +1,182 @@
+"""Metadata scaling: find the open-loop knee and move it with shards.
+
+The ROADMAP's scale question, measured: an open-loop, churn-heavy
+workload (every request opens a fresh file — the pure metadata-stress
+case) is offered at a rate well past the single mgr's capacity, on
+clusters of p ∈ {64, 128, 256} nodes.  The single mgr saturates at
+~1/``mgr_request_cpu_s`` ≈ 6.6k opens/s regardless of p — the 2002
+testbed's serialization point — and hash-partitioning the namespace
+across ``mgr_shards`` moves the knee right roughly linearly until the
+offered rate is met.
+
+Two measurements:
+
+* :func:`run_scaling` — the p × mgr_shards grid at one deeply
+  saturating offered rate; completed ops/s *is* the knee position
+  (offered load is open loop, so completed throughput pins at
+  capacity instead of degrading gracefully).
+* :func:`run_knee_curve` — a rate sweep at fixed p for 1 vs. 4
+  shards: completed tracks offered until the knee, then goes flat.
+  This is the curve ``examples/openloop_scaling.py`` renders.
+
+Every point is an independent simulation, so both drivers fan out
+over :func:`repro.experiments.parallel.sweep`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.experiments import parallel
+from repro.experiments.common import ExperimentResult
+
+#: Node counts of the grid (quick keeps the cheapest).
+FULL_NODES = (64, 128, 256)
+QUICK_NODES = (64,)
+
+#: Metadata shard counts of the grid.
+FULL_SHARDS = (1, 2, 4, 8)
+QUICK_SHARDS = (1, 4)
+
+#: Offered rate for the saturation grid: ~2.4x the single mgr's
+#: ~6.6k opens/s capacity, so one shard is deep in saturation while
+#: four shards can still meet the schedule.
+SATURATING_RATE = 16000.0
+
+#: Arrival-schedule length.  Short on purpose: an open-loop run's
+#: cost scales with offered ops, and saturation shows within a few
+#: hundred arrivals per shard.
+DURATION_S = 0.15
+
+DEFAULT_SEED = 11
+
+
+def knee_params(
+    p: int,
+    rate_ops_s: float = SATURATING_RATE,
+    duration_s: float = DURATION_S,
+    seed: int = DEFAULT_SEED,
+) -> "_t.Any":
+    """The metadata-stress open-loop workload for a p-node cluster.
+
+    ``churn=1`` makes every request open a fresh file (the mgr is on
+    every op's critical path); buffered 4 KB writes at uniformly
+    distributed offsets keep the data plane cheap and spread flush
+    traffic over all p iods, so the mgr is the only shared stage.
+    """
+    from repro.workload.openloop import OpenLoopParams
+
+    return OpenLoopParams(
+        processes=p,
+        duration_s=duration_s,
+        rate_ops_s=rate_ops_s,
+        churn=1.0,
+        read_fraction=0.0,
+        write_fraction=1.0,
+        access="uniform",
+        file_bytes=16 << 20,
+        seed=seed,
+    )
+
+
+def scaling_point(
+    p: int,
+    mgr_shards: int,
+    rate_ops_s: float = SATURATING_RATE,
+    duration_s: float = DURATION_S,
+    seed: int = DEFAULT_SEED,
+) -> dict[str, float]:
+    """Measure one (p, mgr_shards, rate) point; picklable for sweeps."""
+    from repro.cluster.config import ClusterConfig
+    from repro.workload.openloop import run_open_loop
+
+    config = ClusterConfig(
+        compute_nodes=p, iod_nodes=p, mgr_shards=mgr_shards
+    )
+    report = run_open_loop(
+        config, knee_params(p, rate_ops_s, duration_s, seed)
+    )
+    return {
+        "offered_ops_per_s": report.offered_ops_per_s,
+        "completed_ops_per_s": report.completed_ops_per_s,
+        "makespan_s": report.makespan_s,
+        "p50_ms": report.p50_s * 1e3,
+        "p95_ms": report.p95_s * 1e3,
+        "p99_ms": report.p99_s * 1e3,
+    }
+
+
+def run_scaling(
+    quick: bool = False,
+    nodes: _t.Sequence[int] | None = None,
+    shards: _t.Sequence[int] | None = None,
+    max_workers: int | None = None,
+) -> ExperimentResult:
+    """The saturation grid: completed ops/s per (p, mgr_shards)."""
+    ps = tuple(nodes) if nodes else (QUICK_NODES if quick else FULL_NODES)
+    ss = tuple(shards) if shards else (QUICK_SHARDS if quick else FULL_SHARDS)
+    points = [(p, s) for p in ps for s in ss]
+    measured = parallel.sweep(points, scaling_point, max_workers=max_workers)
+    result = ExperimentResult(
+        experiment_id="scaling",
+        title="Open-loop metadata saturation vs. mgr shards",
+        x_label="mgr shards",
+        y_label="completed ops/s (offered %.0f)" % SATURATING_RATE,
+        notes=(
+            "churn-heavy open-loop workload; the single mgr pins "
+            "completed throughput at its ~6.6k opens/s capacity, "
+            "sharding moves the knee right"
+        ),
+    )
+    by_p: dict[int, _t.Any] = {p: result.new_series(f"p={p}") for p in ps}
+    for (p, s), stats in zip(points, measured):
+        by_p[p].add(
+            float(s),
+            stats["completed_ops_per_s"],
+            offered=stats["offered_ops_per_s"],
+            makespan_s=stats["makespan_s"],
+            p99_ms=stats["p99_ms"],
+        )
+    return result
+
+
+def run_knee_curve(
+    p: int = 256,
+    shards: _t.Sequence[int] = (1, 4),
+    rates: _t.Sequence[float] = (2000, 4000, 8000, 16000),
+    max_workers: int | None = None,
+) -> ExperimentResult:
+    """Completed vs. offered load: the knee, for 1 vs. N mgr shards."""
+    points = [
+        (p, s, float(rate)) for s in shards for rate in rates
+    ]
+    measured = parallel.sweep(points, scaling_point, max_workers=max_workers)
+    result = ExperimentResult(
+        experiment_id="knee",
+        title=f"Open-loop knee at p={p}: offered vs. completed",
+        x_label="offered ops/s",
+        y_label="completed ops/s",
+        notes=(
+            "completed tracks offered until the mgr saturates, then "
+            "flattens; more shards push the knee right"
+        ),
+    )
+    series = {s: result.new_series(f"mgr_shards={s}") for s in shards}
+    for (_p, s, rate), stats in zip(points, measured):
+        series[s].add(
+            stats["offered_ops_per_s"],
+            stats["completed_ops_per_s"],
+            p99_ms=stats["p99_ms"],
+        )
+    return result
+
+
+def locate_knee(result: ExperimentResult, label: str) -> float:
+    """The knee of one ``run_knee_curve`` series: the highest offered
+    rate the system still met (completed within 5% of offered), or
+    0.0 when even the lowest point saturated."""
+    knee = 0.0
+    for point in result.get(label).points:
+        if point.y >= 0.95 * point.x:
+            knee = max(knee, point.x)
+    return knee

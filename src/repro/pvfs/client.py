@@ -39,6 +39,7 @@ class PVFSClient:
         iod_port: int = 7000,
         use_cache: bool = True,
         record_metrics: bool = True,
+        mgr_placements: _t.Sequence[tuple[str, int]] | None = None,
     ) -> None:
         self.node = node
         self.env = node.env
@@ -46,6 +47,14 @@ class PVFSClient:
         self.metrics = metrics
         self.mgr_port = mgr_port
         self.iod_port = iod_port
+        #: Where each metadata shard lives, ``(node, port)`` by shard
+        #: index (DESIGN.md §18).  The default is the classic single
+        #: mgr; paths route to shards by deterministic hash.
+        self.mgr_placements: tuple[tuple[str, int], ...] = tuple(
+            mgr_placements
+            if mgr_placements is not None
+            else [(mgr_node, mgr_port)]
+        )
         #: Route through the node's cache module when present.
         self.use_cache = use_cache
         #: Warmup clients disable recording so steady-state latency
@@ -60,7 +69,7 @@ class PVFSClient:
         #: Workload tags carried into recorded trace IR events.
         self.app = ""
         self.instance = 0
-        self._mgr_ep = None
+        self._mgr_eps: dict[int, _t.Any] = {}
         self._iod_eps: dict[str, _t.Any] = {}
 
     def _trace(
@@ -125,12 +134,19 @@ class PVFSClient:
                 self._trace(file_id, offset, nbytes, op)
 
     # -- connections ---------------------------------------------------------
-    def _mgr_endpoint(self) -> _t.Generator:
-        if self._mgr_ep is None:
-            self._mgr_ep = yield self.env.process(
-                self.node.sockets.connect(self.mgr_node, self.mgr_port)
+    def _mgr_shard(self, path: str) -> int:
+        """The metadata shard owning ``path``."""
+        return protocol.mgr_shard_of(path, len(self.mgr_placements))
+
+    def _mgr_endpoint(self, shard: int = 0) -> _t.Generator:
+        endpoint = self._mgr_eps.get(shard)
+        if endpoint is None:
+            mgr_node, mgr_port = self.mgr_placements[shard]
+            endpoint = yield self.env.process(
+                self.node.sockets.connect(mgr_node, mgr_port)
             )
-        return self._mgr_ep
+            self._mgr_eps[shard] = endpoint
+        return endpoint
 
     def _iod_endpoint(self, iod_node: str) -> _t.Generator:
         endpoint = self._iod_eps.get(iod_node)
@@ -153,7 +169,7 @@ class PVFSClient:
         to the mgr.
         """
         yield from self.node.compute(self.node.costs.syscall_s)
-        endpoint = yield from self._mgr_endpoint()
+        endpoint = yield from self._mgr_endpoint(self._mgr_shard(path))
         yield endpoint.send(
             Message(
                 kind=protocol.MGR_OPEN,
@@ -170,7 +186,7 @@ class PVFSClient:
     def stat(self, path: str) -> _t.Generator:
         """Process body: metadata lookup; returns FileHandle or None."""
         yield from self.node.compute(self.node.costs.syscall_s)
-        endpoint = yield from self._mgr_endpoint()
+        endpoint = yield from self._mgr_endpoint(self._mgr_shard(path))
         yield endpoint.send(
             Message(
                 kind=protocol.MGR_STAT,
@@ -188,7 +204,7 @@ class PVFSClient:
         whether it existed.  (Stripe data reclamation is the iods'
         concern; see PVFSShell.rm for the storage side.)"""
         yield from self.node.compute(self.node.costs.syscall_s)
-        endpoint = yield from self._mgr_endpoint()
+        endpoint = yield from self._mgr_endpoint(self._mgr_shard(path))
         yield endpoint.send(
             Message(
                 kind=protocol.MGR_UNLINK,
@@ -202,20 +218,29 @@ class PVFSClient:
         return ack.payload.existed
 
     def listdir(self) -> _t.Generator:
-        """Process body: every path in the namespace."""
+        """Process body: every path in the namespace.
+
+        With a sharded mgr each shard owns a namespace partition, so
+        the listing fans out to every shard (in shard order — the
+        deterministic schedule requirement) and merges the sorted
+        partials.
+        """
         yield from self.node.compute(self.node.costs.syscall_s)
-        endpoint = yield from self._mgr_endpoint()
-        yield endpoint.send(
-            Message(
-                kind=protocol.MGR_LIST,
-                size_bytes=protocol.OPEN_REQ_BYTES,
-                payload=None,
+        paths: list[str] = []
+        for shard in range(len(self.mgr_placements)):
+            endpoint = yield from self._mgr_endpoint(shard)
+            yield endpoint.send(
+                Message(
+                    kind=protocol.MGR_LIST,
+                    size_bytes=protocol.OPEN_REQ_BYTES,
+                    payload=None,
+                )
             )
-        )
-        ack = yield endpoint.recv()
-        if ack.kind != protocol.MGR_LIST_ACK:
-            raise ValueError(f"unexpected list reply {ack.kind!r}")
-        return ack.payload.paths
+            ack = yield endpoint.recv()
+            if ack.kind != protocol.MGR_LIST_ACK:
+                raise ValueError(f"unexpected list reply {ack.kind!r}")
+            paths.extend(ack.payload.paths)
+        return sorted(paths)
 
     def read(
         self,

@@ -30,7 +30,7 @@ from repro.pvfs.striping import StripeLayout
 from repro.svc import Service, handles
 
 
-@shared_state("directory")
+@shared_state("directories")
 class Iod(Service):
     """One I/O daemon bound to a storage node."""
 
@@ -43,6 +43,7 @@ class Iod(Service):
         port: int = 7000,
         flush_port: int = 7001,
         invalidate_port: int = 7002,
+        mgr_shards: int = 1,
     ) -> None:
         if node.disk is None or node.filestore is None or node.pagecache is None:
             raise ValueError(f"{node.name} has no disk stack for an iod")
@@ -54,13 +55,48 @@ class Iod(Service):
         self.flush_port = flush_port
         self.invalidate_port = invalidate_port
         self.request_cpu_s = node.costs.iod_request_cpu_s
+        self.mgr_shards = mgr_shards
+        #: sync_write directories, partitioned by the mgr shard that
+        #: owns each file (DESIGN.md §18): element ``k`` maps
         #: (file_id, block_no) -> set of client node names whose cache
-        #: module may hold a copy (the sync_write directory).
-        self.directory: dict[tuple[int, int], set[str]] = {}
+        #: module may hold a copy, for files allocated by mgr shard
+        #: ``k``.  One partition at the default, so ``directory`` below
+        #: is the classic flat table.
+        self.directories: list[dict[tuple[int, int], set[str]]] = [
+            {} for _ in range(mgr_shards)
+        ]
         self._invalidate_pool = self.pool(
             invalidate_port, label=f"{self.name}-inval"
         )
         self.block_size = node.filestore.block_size
+
+    def _directory_for(self, file_id: int) -> dict[tuple[int, int], set[str]]:
+        """The directory partition of the mgr shard owning ``file_id``."""
+        return self.directories[
+            protocol.owning_mgr_shard(file_id, self.mgr_shards)
+        ]
+
+    @property
+    def directory(self) -> dict[tuple[int, int], set[str]]:
+        """The sharer directory as one flat table.
+
+        With one mgr shard this *is* the single partition (mutations
+        through it are live, as tests expect); with several it is a
+        merged snapshot for inspection.
+        """
+        if self.mgr_shards == 1:
+            return self.directories[0]
+        merged: dict[tuple[int, int], set[str]] = {}
+        for partition in self.directories:
+            merged.update(partition)
+        return merged
+
+    @directory.setter
+    def directory(self, entries: dict[tuple[int, int], set[str]]) -> None:
+        for partition in self.directories:
+            partition.clear()
+        for (file_id, block), sharers in entries.items():
+            self._directory_for(file_id)[(file_id, block)] = sharers
 
     def _on_start(self) -> None:
         self.serve(self.port, label="data")
@@ -82,9 +118,10 @@ class Iod(Service):
         )
         yield from self._ensure_resident(req.file_id, req.ranges)
         if req.from_cache and req.requester_node:
+            directory = self._directory_for(req.file_id)
             for off, n in req.ranges:
                 for block in blocks_spanned(off, n, self.block_size):
-                    self.directory.setdefault(
+                    directory.setdefault(
                         (req.file_id, block), set()
                     ).add(req.requester_node)
         chunks = [
@@ -228,6 +265,8 @@ class Iod(Service):
         """Invalidate every cache holding a written block, except the
         writer's own node (its cache was updated by the write itself)."""
         victims: dict[str, list[tuple[int, int]]] = {}
+        mgr_shard = protocol.owning_mgr_shard(req.file_id, self.mgr_shards)
+        directory = self.directories[mgr_shard]
         for off, n in req.ranges:
             for block in blocks_spanned(off, n, self.block_size):
                 key = (req.file_id, block)
@@ -236,17 +275,17 @@ class Iod(Service):
                 # invalidation messages hit the wire — iterating the
                 # raw set would tie the packet schedule (and thus every
                 # downstream event) to the string hash seed.
-                for sharer in sorted(self.directory.get(key, ())):
+                for sharer in sorted(directory.get(key, ())):
                     if sharer != req.requester_node:
                         victims.setdefault(sharer, []).append(key)
                 # After a sync write only the writer's copy is current.
-                if key in self.directory:
+                if key in directory:
                     keep = (
                         {req.requester_node}
-                        if req.requester_node in self.directory[key]
+                        if req.requester_node in directory[key]
                         else set()
                     )
-                    self.directory[key] = keep
+                    directory[key] = keep
         pending = []
         for node_name, keys in victims.items():
             channel = yield from self._invalidate_pool.channel(node_name)
@@ -265,7 +304,10 @@ class Iod(Service):
                 pending.append(call)
                 self.metrics.inc("iod.invalidations_sent", len(blocks))
                 self._emit(
-                    "invalidation", peer=node_name, blocks=len(blocks)
+                    "invalidation",
+                    peer=node_name,
+                    blocks=len(blocks),
+                    mgr_shard=mgr_shard,
                 )
         for call in pending:
             yield call.response()

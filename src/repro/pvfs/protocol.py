@@ -8,6 +8,7 @@ realistic wire sizes regardless of the Python object shapes.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import typing as _t
 
 # -- message kinds -------------------------------------------------------
@@ -46,6 +47,38 @@ OPEN_ACK_BYTES = 256
 
 
 Range = tuple[int, int]  # (offset, nbytes), logical file coordinates
+
+
+def mgr_shard_of(path: str, n_shards: int) -> int:
+    """Which metadata shard owns ``path``.
+
+    Routing hashes the path with BLAKE2b rather than Python's
+    ``hash()``: string hashing is salted per interpreter, and the
+    shard a file lands on decides which packets cross the wire — a
+    seed-dependent route would make the schedule trace hash
+    irreproducible.  Every client and every shard computes the same
+    map from the same wire-visible inputs, so no routing metadata
+    travels.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one mgr shard, got {n_shards}")
+    if n_shards == 1:
+        return 0
+    digest = hashlib.blake2b(path.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+def owning_mgr_shard(file_id: int, n_shards: int) -> int:
+    """Which metadata shard allocated ``file_id``.
+
+    Shard ``k`` hands out ids from ``count(k + 1, step=n_shards)``,
+    so ownership is recoverable from the id alone — iods use this to
+    partition their invalidation directories without extra wire
+    fields.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one mgr shard, got {n_shards}")
+    return (file_id - 1) % n_shards
 
 
 @dataclasses.dataclass

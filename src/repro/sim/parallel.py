@@ -462,6 +462,7 @@ def run_sharded_replay(
         trace_source=None,
         engine_shards=1,
         shard_backend=None,
+        mgr_shards=config.resolved_mgr_shards,
     )
     plan = plan_shards(
         config.compute_node_names(), config.iod_node_names(), n

@@ -277,7 +277,10 @@ def _cmd_validate(argv: _t.Sequence[str]) -> int:
     parser.add_argument("--trace", type=str, required=True, metavar="FILE",
                         help="trace to validate (JSONL or CSV, '-' = stdin)")
     args = parser.parse_args(argv)
+    from collections import Counter
+
     from repro.workload.classify import classify_trace
+    from repro.workload.openloop import is_open_loop, offered_load_stats
     from repro.workload.trace import TraceFormatError, validate_trace
 
     try:
@@ -299,8 +302,25 @@ def _cmd_validate(argv: _t.Sequence[str]) -> int:
     print(f"  content hash         : {trace.content_hash()}")
     if trace.meta:
         print(f"  meta                 : {trace.meta}")
-    for path, pattern in classify_trace(trace).items():
-        print(f"  {path:<20} : {pattern}")
+    if is_open_loop(trace):
+        # An open-loop trace is an arrival schedule: summarize its
+        # offered load instead of judging it by closed-loop standards.
+        load = offered_load_stats(trace)
+        print(f"  offered load         : "
+              f"{load['offered_ops']} arrivals over the "
+              f"{load['duration_s']:.6f} s schedule "
+              f"= {load['offered_ops_per_s']:.1f} ops/s "
+              f"({load['per_process_ops_per_s']:.1f} per process)")
+    patterns = classify_trace(trace)
+    if len(patterns) > 20:
+        # Churn-heavy (open-loop) namespaces run to thousands of
+        # single-use paths; a per-path listing would drown the report.
+        counts = Counter(patterns.values())
+        print("  sharing patterns     : " + "  ".join(
+            f"{pattern}={n}" for pattern, n in sorted(counts.items())))
+    else:
+        for path, pattern in patterns.items():
+            print(f"  {path:<20} : {pattern}")
     issues = validate_trace(trace)
     for issue in issues:
         print(f"  ISSUE: {issue}", file=sys.stderr)

@@ -455,6 +455,14 @@ def validate_trace(trace: Trace) -> list[str]:
     Event-level validity is enforced at construction; this checks the
     cross-event properties an importer cares about: per-process time
     monotonicity and degenerate (empty / zero-byte-only) traces.
+
+    Open-loop traces (``meta["open_loop"]``, see
+    :mod:`repro.workload.openloop`) are an arrival *schedule*, not a
+    recording of completions: unbounded think time between events and
+    pure-metadata churn are legitimate there, so the closed-loop
+    degeneracy heuristics do not apply.  Instead the schedule is
+    checked against its own declared provenance (arrival count and
+    horizon).
     """
     issues: list[str] = []
     if not trace.events:
@@ -470,7 +478,22 @@ def validate_trace(trace: Trace) -> list[str]:
                 )
                 break
             last = event.time
-    if all(e.total_bytes == 0 for e in trace.events):
+    if trace.meta.get("open_loop"):
+        declared = trace.meta.get("offered_ops")
+        if declared is not None and int(declared) != len(trace.events):
+            issues.append(
+                f"open-loop meta declares {declared} offered ops but "
+                f"the trace has {len(trace.events)} events"
+            )
+        horizon = trace.meta.get("duration_s")
+        if horizon is not None:
+            late = max(e.time for e in trace.events)
+            if late > float(horizon):
+                issues.append(
+                    f"open-loop arrival at t={late} lands past the "
+                    f"declared {horizon}s schedule horizon"
+                )
+    elif all(e.total_bytes == 0 for e in trace.events):
         issues.append("every event transfers zero bytes")
     return issues
 

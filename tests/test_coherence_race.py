@@ -63,6 +63,8 @@ def test_invalidation_fanout_order_is_hash_independent():
     sharers = {f"node-{c}" for c in "zyxwvutsrqponmlkjihgfedcba"}
     iod = object.__new__(Iod)
     iod.block_size = 4096
+    iod.mgr_shards = 1
+    iod.directories = [{}]
     iod.directory = {(7, 0): set(sharers) | {"writer"}}
     contacted = []
 

@@ -72,3 +72,11 @@ def test_scheduler_colocation_single_cell():
     t_co = module.placement_time(1.0, 0.75, colocate=True)
     t_sp = module.placement_time(1.0, 0.75, colocate=False)
     assert t_co < t_sp  # l=1, high sharing: co-location wins
+
+
+def test_openloop_scaling_single_cell():
+    """One cell of the knee sweep (full main sweeps p=256 and is slow)."""
+    module = _load("openloop_scaling")
+    one = module.measure(16, 1, 16000.0, duration_s=0.1)
+    four = module.measure(16, 4, 16000.0, duration_s=0.1)
+    assert four["completed_ops_per_s"] > one["completed_ops_per_s"]

@@ -108,7 +108,7 @@ def test_run_all_unknown_experiment():
 def test_runner_registry_covers_every_figure():
     assert set(RUNNERS) == {
         "overhead", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "sensitivity", "extensions",
+        "sensitivity", "extensions", "scaling",
     }
 
 

@@ -1,0 +1,405 @@
+"""Open-loop workload generation: samplers, traces, measurement.
+
+The sampler tests pin golden first-20-draw streams per seed — the
+open-loop generator's determinism contract is that a workload is a
+pure function of its parameters, on any host, serially and inside
+``repro.experiments.parallel`` sweep workers.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import parallel
+from repro.workload.openloop import (
+    MMPPArrivals,
+    OpenLoopParams,
+    PoissonArrivals,
+    ZipfSampler,
+    generate,
+    is_open_loop,
+    offered_load_stats,
+    report_from_series,
+    run_open_loop,
+)
+from repro.workload.trace import validate_trace
+
+# -- golden streams (first 20 draws per seed) --------------------------------
+
+GOLDEN_ZIPF = {
+    0: [28, 0, 63, 63, 63, 63, 2, 0, 23, 47, 0, 10, 63, 15, 19, 1, 0, 63, 63, 2],
+    7: [63, 0, 63, 2, 1, 9, 1, 22, 0, 26, 8, 0, 49, 3, 63, 0, 3, 0, 2, 63],
+}
+
+GOLDEN_POISSON = {
+    0: [
+        0.000679932, 0.001019597, 1.9807e-05, 2.269e-06, 0.000550343,
+        0.00162994, 0.000673583, 0.000755301, 0.002816786, 0.006057753,
+        0.003286428, 1.288e-06, 0.002269095, 7.2498e-05, 0.0010694,
+        0.000848933, 0.003149909, 0.00035401, 0.000307111, 0.001492219,
+    ],
+    7: [
+        0.000707529, 0.001025203, 0.000568549, 0.00089511, 0.000206533,
+        0.003383637, 9.754e-06, 0.002809216, 0.000575333, 0.000300534,
+        0.000541136, 0.000312146, 0.00089977, 0.001073701, 0.00188425,
+        0.000222071, 0.003144673, 0.000735857, 0.000348373, 0.000883565,
+    ],
+}
+
+GOLDEN_MMPP = {
+    0: [
+        0.000254899, 4.952e-06, 5.67e-07, 0.000137586, 0.000407485,
+        0.000168396, 0.000188825, 0.000704196, 0.001514438, 0.000821607,
+        3.22e-07, 0.000567274, 1.8124e-05, 0.00026735, 0.000212233,
+        0.000787477, 8.8503e-05, 7.6778e-05, 0.000373055, 9.251e-06,
+    ],
+    7: [
+        0.000256301, 0.000142137, 0.000223777, 5.1633e-05, 0.000845909,
+        2.438e-06, 0.000702304, 0.000143833, 7.5134e-05, 0.000135284,
+        7.8036e-05, 0.000224943, 0.000268425, 0.000471063, 5.5518e-05,
+        0.000786168, 0.000183964, 8.7093e-05, 0.000220891, 1.8765e-05,
+    ],
+}
+
+
+def zipf_first20(seed: int) -> list[int]:
+    """Module-level so parallel sweep workers can pickle it."""
+    return ZipfSampler(1.3, 64, seed).draws(20)
+
+
+def poisson_first20(seed: int) -> list[float]:
+    return [round(g, 9) for g in PoissonArrivals(1000.0, seed).gaps(20)]
+
+
+def mmpp_first20(seed: int) -> list[float]:
+    sampler = MMPPArrivals(
+        1000.0, seed, burst_factor=4.0, on_fraction=0.25, cycle_s=0.2
+    )
+    return [round(g, 9) for g in sampler.gaps(20)]
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN_ZIPF))
+def test_zipf_golden_stream(seed):
+    assert zipf_first20(seed) == GOLDEN_ZIPF[seed]
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN_POISSON))
+def test_poisson_golden_stream(seed):
+    assert poisson_first20(seed) == GOLDEN_POISSON[seed]
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN_MMPP))
+def test_mmpp_golden_stream(seed):
+    assert mmpp_first20(seed) == GOLDEN_MMPP[seed]
+
+
+def test_sampler_streams_identical_in_parallel_workers(monkeypatch):
+    """The same seed yields the same stream inside sweep workers."""
+    monkeypatch.delenv(parallel.WORKERS_ENV_VAR, raising=False)
+    seeds = sorted(GOLDEN_ZIPF)
+    points = [(s,) for s in seeds]
+    assert parallel.sweep(points, zipf_first20, max_workers=2) == [
+        GOLDEN_ZIPF[s] for s in seeds
+    ]
+    assert parallel.sweep(points, poisson_first20, max_workers=2) == [
+        GOLDEN_POISSON[s] for s in seeds
+    ]
+    assert parallel.sweep(points, mmpp_first20, max_workers=2) == [
+        GOLDEN_MMPP[s] for s in seeds
+    ]
+
+
+# -- sampler semantics --------------------------------------------------------
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(1.0, 64, 0)
+    with pytest.raises(ValueError):
+        ZipfSampler(1.3, 0, 0)
+
+
+def test_zipf_draws_stay_in_namespace():
+    draws = ZipfSampler(1.1, 8, 123).draws(500)
+    assert all(0 <= r < 8 for r in draws)
+    # Heavy tail: rank 0 dominates.
+    assert draws.count(0) > draws.count(7 - 1)
+
+
+def test_poisson_validation():
+    with pytest.raises(ValueError):
+        PoissonArrivals(0.0, 0)
+
+
+def test_poisson_mean_rate():
+    gaps = PoissonArrivals(500.0, 42).gaps(4000)
+    assert sum(gaps) / len(gaps) == pytest.approx(1 / 500.0, rel=0.1)
+
+
+def test_mmpp_validation():
+    with pytest.raises(ValueError):
+        MMPPArrivals(0.0, 0)
+    with pytest.raises(ValueError):
+        MMPPArrivals(100.0, 0, burst_factor=0.5)
+    with pytest.raises(ValueError):
+        MMPPArrivals(100.0, 0, on_fraction=1.0)
+    with pytest.raises(ValueError):
+        MMPPArrivals(100.0, 0, cycle_s=0.0)
+    with pytest.raises(ValueError):
+        # OFF rate would go negative.
+        MMPPArrivals(100.0, 0, burst_factor=5.0, on_fraction=0.25)
+
+
+def test_mmpp_long_run_rate_matches_configured():
+    sampler = MMPPArrivals(1000.0, 9, burst_factor=4.0, on_fraction=0.25)
+    gaps = sampler.gaps(20000)
+    assert sum(gaps) / len(gaps) == pytest.approx(1e-3, rel=0.1)
+
+
+def test_mmpp_is_burstier_than_poisson():
+    """Squared coefficient of variation > 1 distinguishes MMPP."""
+
+    def scv(gaps):
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return var / mean**2
+
+    mmpp = MMPPArrivals(1000.0, 5, burst_factor=4.0, on_fraction=0.25)
+    poisson = PoissonArrivals(1000.0, 5)
+    assert scv(mmpp.gaps(8000)) > scv(poisson.gaps(8000))
+
+
+# -- parameter validation ------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"processes": 0},
+        {"duration_s": 0.0},
+        {"rate_ops_s": 0.0},
+        {"arrival": "uniform"},
+        {"n_files": 0},
+        {"sharing": 1.5},
+        {"churn": -0.1},
+        {"read_fraction": 0.8, "write_fraction": 0.4},
+        {"access": "random"},
+        {"request_bytes": 0},
+        {"file_bytes": 1024, "request_bytes": 4096},
+        {"stride_count": 0},
+        {"stride_bytes": -1},
+        {"stride_count": 4, "stride_bytes": 1 << 19, "file_bytes": 1 << 20},
+    ],
+)
+def test_params_validation(kwargs):
+    with pytest.raises(ValueError):
+        OpenLoopParams(**kwargs)
+
+
+def test_request_span_strided():
+    params = OpenLoopParams(stride_count=4, stride_bytes=16384)
+    assert params.request_span == 3 * 16384 + 4096
+    assert OpenLoopParams().request_span == 4096
+
+
+# -- generation ----------------------------------------------------------------
+
+
+def test_generate_is_deterministic():
+    params = OpenLoopParams(processes=3, duration_s=0.2, rate_ops_s=600, seed=5)
+    assert generate(params).content_hash() == generate(params).content_hash()
+
+
+def test_generate_different_seeds_differ():
+    base = OpenLoopParams(processes=3, duration_s=0.2, rate_ops_s=600, seed=5)
+    other = OpenLoopParams(processes=3, duration_s=0.2, rate_ops_s=600, seed=6)
+    assert generate(base).content_hash() != generate(other).content_hash()
+
+
+def test_generate_meta_and_shape():
+    params = OpenLoopParams(processes=4, duration_s=0.25, rate_ops_s=800, seed=1)
+    trace = generate(params)
+    assert is_open_loop(trace)
+    assert trace.meta["offered_ops"] == len(trace.events)
+    assert trace.meta["arrival"] == "poisson"
+    assert set(e.process for e in trace.events) <= set(params.process_names())
+    assert all(0 < e.time <= params.duration_s for e in trace.events)
+    assert all(e.nbytes == params.request_bytes for e in trace.events)
+    assert validate_trace(trace) == []
+
+
+def test_generate_op_mix_respects_fractions():
+    params = OpenLoopParams(
+        processes=2,
+        duration_s=1.0,
+        rate_ops_s=2000,
+        read_fraction=1.0,
+        write_fraction=0.0,
+        seed=2,
+    )
+    assert set(e.op for e in generate(params).events) == {"read"}
+
+
+def test_generate_sharing_namespaces():
+    all_shared = generate(
+        OpenLoopParams(processes=2, duration_s=0.5, rate_ops_s=400,
+                       sharing=1.0, seed=3)
+    )
+    assert all(e.path.startswith("/shared/") for e in all_shared.events)
+    private = generate(
+        OpenLoopParams(processes=2, duration_s=0.5, rate_ops_s=400,
+                       sharing=0.0, seed=3)
+    )
+    assert all(e.path.startswith("/p") for e in private.events)
+
+
+def test_generate_churn_creates_fresh_files():
+    trace = generate(
+        OpenLoopParams(processes=2, duration_s=0.5, rate_ops_s=400,
+                       churn=1.0, seed=4)
+    )
+    # Every path is unique: pure namespace churn.
+    paths = [e.path for e in trace.events]
+    assert len(set(paths)) == len(paths)
+    assert all("/new" in p for p in paths)
+
+
+def test_generate_strided_shape():
+    trace = generate(
+        OpenLoopParams(processes=1, duration_s=0.2, rate_ops_s=300,
+                       stride_count=4, stride_bytes=16384, seed=5)
+    )
+    assert trace.events
+    assert all(e.is_list and e.count == 4 for e in trace.events)
+
+
+def test_generate_uniform_offsets_are_request_aligned():
+    params = OpenLoopParams(
+        processes=2, duration_s=0.3, rate_ops_s=500,
+        access="uniform", file_bytes=1 << 20, seed=6,
+    )
+    trace = generate(params)
+    offsets = {e.offset for e in trace.events}
+    assert len(offsets) > 1  # actually spread
+    assert all(off % params.request_bytes == 0 for off in offsets)
+    assert all(
+        off + params.request_span <= params.file_bytes for off in offsets
+    )
+
+
+def test_generate_seq_cursors_wrap():
+    params = OpenLoopParams(
+        processes=1, duration_s=0.5, rate_ops_s=600, n_files=1,
+        sharing=1.0, file_bytes=16384, seed=7,
+    )
+    trace = generate(params)
+    offsets = [e.offset for e in trace.events]
+    assert max(offsets) + params.request_bytes <= params.file_bytes
+    assert offsets.count(0) > 1  # wrapped at least once
+
+
+# -- offered-load stats and validation ------------------------------------------
+
+
+def test_offered_load_stats():
+    params = OpenLoopParams(processes=4, duration_s=0.5, rate_ops_s=800, seed=8)
+    trace = generate(params)
+    load = offered_load_stats(trace)
+    assert load["offered_ops"] == len(trace.events)
+    # Uses the declared horizon as denominator, not the span.
+    assert load["offered_ops_per_s"] == pytest.approx(
+        len(trace.events) / 0.5
+    )
+    assert load["per_process_ops_per_s"] == pytest.approx(
+        load["offered_ops_per_s"] / 4
+    )
+
+
+def test_offered_load_stats_empty_trace():
+    from repro.workload.trace import Trace
+
+    assert offered_load_stats(Trace([]))["offered_ops"] == 0
+
+
+def test_validate_trace_open_loop_skips_zero_byte_heuristic():
+    from repro.workload.trace import Trace, TraceEvent
+
+    events = [
+        TraceEvent(
+            time=0.1, process="p0", path="/a", op="read", offset=0, nbytes=0
+        )
+    ]
+    closed = Trace(list(events))
+    assert "every event transfers zero bytes" in validate_trace(closed)
+    opened = Trace(list(events), meta={"open_loop": True})
+    assert validate_trace(opened) == []
+
+
+def test_validate_trace_open_loop_checks_declared_meta():
+    params = OpenLoopParams(processes=2, duration_s=0.2, rate_ops_s=500, seed=9)
+    trace = generate(params)
+    trace.meta["offered_ops"] = len(trace.events) + 3
+    issues = validate_trace(trace)
+    assert any("offered ops" in issue for issue in issues)
+    trace.meta["offered_ops"] = len(trace.events)
+    trace.meta["duration_s"] = trace.events[-1].time / 2
+    issues = validate_trace(trace)
+    assert any("schedule horizon" in issue for issue in issues)
+
+
+def test_cli_validate_reports_offered_load(tmp_path, capsys):
+    from repro.workload.__main__ import main
+
+    trace = generate(
+        OpenLoopParams(processes=2, duration_s=0.3, rate_ops_s=600, seed=10)
+    )
+    path = tmp_path / "ol.jsonl"
+    path.write_text(trace.dumps())
+    assert main(["validate", "--trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "offered load" in out
+
+
+# -- measurement -----------------------------------------------------------------
+
+
+def test_report_percentiles_and_saturation():
+    params = OpenLoopParams(processes=1, duration_s=1.0, rate_ops_s=100, seed=11)
+    trace = generate(params)
+    series = {"client.read_latency": [0.001 * (i + 1) for i in range(100)]}
+    report = report_from_series(trace, makespan_s=1.0, series=series)
+    assert report.p50_s == pytest.approx(0.050)
+    assert report.p95_s == pytest.approx(0.095)
+    assert report.p99_s == pytest.approx(0.099)
+    assert not report.saturated
+    behind = report_from_series(trace, makespan_s=2.0, series=series)
+    assert behind.saturated
+    assert behind.completed_ops_per_s == pytest.approx(
+        report.completed_ops_per_s / 2
+    )
+
+
+def test_report_empty_series_is_nan():
+    trace = generate(
+        OpenLoopParams(processes=1, duration_s=0.1, rate_ops_s=100, seed=12)
+    )
+    report = report_from_series(trace, makespan_s=0.1, series={})
+    assert math.isnan(report.p50_s)
+
+
+def test_run_open_loop_unsaturated_cluster():
+    from repro.cluster.config import ClusterConfig
+
+    # Cold 4 KB reads cost ~40 ms (disk + wire), so stay well under
+    # that: 10 ops/s per process leaves 100 ms between arrivals.
+    params = OpenLoopParams(
+        processes=4, duration_s=0.25, rate_ops_s=40,
+        read_fraction=1.0, write_fraction=0.0, seed=13,
+    )
+    report = run_open_loop(ClusterConfig(compute_nodes=4, iod_nodes=4), params)
+    assert report.offered_ops > 0
+    assert report.makespan_s > 0
+    # Light load: the run keeps up with its arrival schedule.
+    assert not report.saturated
+    assert report.completed_ops_per_s >= report.offered_ops_per_s * 0.9
+    assert report.p50_s > 0
